@@ -1,0 +1,194 @@
+// Benchmark harness: one benchmark per paper table and figure (plus the
+// ablations), each regenerating the artifact end to end from the simulator,
+// and micro-benchmarks for the hot substrate paths.
+//
+// Run everything once with:
+//
+//	go test -bench . -benchmem -benchtime 1x
+package headroom_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"headroom"
+	"headroom/internal/cluster"
+	"headroom/internal/experiments"
+	"headroom/internal/sim"
+	"headroom/internal/stats"
+	"headroom/internal/trace"
+)
+
+// benchExperiment runs a registered experiment per iteration and reports a
+// selected headline metric.
+func benchExperiment(b *testing.B, id, metric string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatalf("ByID(%s): %v", id, err)
+	}
+	cfg := experiments.Config{Seed: 1, Fast: true}
+	b.ResetTimer()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err = exp.Run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	if metric != "" {
+		if v, ok := res.Metrics[metric]; ok {
+			// Benchmark units must be whitespace-free; drop the paper
+			// annotation suffix.
+			unit := metric
+			if i := strings.IndexByte(unit, ' '); i >= 0 {
+				unit = unit[:i]
+			}
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B)  { benchExperiment(b, "fig2", "cpu_linear_dcs (paper: all)") }
+func BenchmarkFig3(b *testing.B)  { benchExperiment(b, "fig3", "groups_found (paper: 2 clusters)") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4", "median_surge_frac (paper 0.56)") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5", "max_latency_ms (paper <26)") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6", "dc5_peak_rps_ratio (paper ~4x)") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7", "savings_frac") }
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8", "orig_slope") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9", "forecast_abs_error_ms") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", "orig_slope") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11", "forecast_abs_error_ms") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12", "frac_p95_le_15 (paper ~0.60)") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13", "frac_above_25 (paper 0.01)") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14", "mean_availability (paper 0.83)") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15", "mean_C (paper ~0.90)") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16", "latency_regression_detected") }
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2", "p95_change_frac") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3", "p95_change_frac") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4", "total_savings (paper 0.30)") }
+
+func BenchmarkAblationRANSAC(b *testing.B) {
+	benchExperiment(b, "ablation-ransac", "ransac_worst_err_ms")
+}
+func BenchmarkAblationDegree(b *testing.B) { benchExperiment(b, "ablation-degree", "deg2_err_ms") }
+func BenchmarkAblationPartitions(b *testing.B) {
+	benchExperiment(b, "ablation-partitions", "J4_err_ms")
+}
+func BenchmarkAblationPlanners(b *testing.B) {
+	benchExperiment(b, "ablation-planners", "reactive_violations")
+}
+
+// BenchmarkSimulatorThroughput measures raw record generation of the full
+// default fleet (records per op: one fleet-hour).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := sim.DefaultFleet(1)
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := s.Run(30, func(r trace.Record) error { // one hour of windows
+			sink += r.CPUPct
+			n++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "records/op")
+	}
+	_ = sink
+}
+
+// BenchmarkPlanPipeline measures the full Steps 1-2 pipeline over a day of
+// pool B observations.
+func BenchmarkPlanPipeline(b *testing.B) {
+	agg, err := headroom.Simulate(headroom.FleetConfig{
+		DCs:   headroom.NineRegions(),
+		Pools: []headroom.PoolConfig{headroom.PoolB()},
+		Seed:  1,
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := headroom.Plan(agg, headroom.PlanConfig{Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolyFitQuadratic(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1221) // the paper's N for the pool B fit
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		xs[i] = 150 + 400*rng.Float64()
+		ys[i] = 4.028e-5*xs[i]*xs[i] - 0.031*xs[i] + 36.68 + 0.4*rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.PolyFit(xs, ys, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRANSACQuadratic(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 600)
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		xs[i] = 150 + 400*rng.Float64()
+		ys[i] = 4.028e-5*xs[i]*xs[i] - 0.031*xs[i] + 36.68 + 0.4*rng.NormFloat64()
+		if i%10 == 0 {
+			ys[i] += 20
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.RANSAC(xs, ys, stats.RANSACConfig{Degree: 2, Seed: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansGrouping(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	points := make([]cluster.Point, 600)
+	for i := range points {
+		if i%2 == 0 {
+			points[i] = cluster.Point{8 + rng.NormFloat64(), 20 + rng.NormFloat64()}
+		} else {
+			points[i] = cluster.Point{3 + rng.NormFloat64(), 9 + rng.NormFloat64()}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(points, cluster.Config{K: 2, Seed: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPercentiles(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 720) // one day of windows
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Percentiles(xs, 5, 25, 50, 75, 95)
+	}
+}
+
+func BenchmarkGroupingTree(b *testing.B) {
+	benchExperiment(b, "grouping-tree", "cv_auc (paper 0.9804)")
+}

@@ -1,0 +1,93 @@
+// Command capplan runs the black-box capacity-planning methodology over a
+// fleet trace produced by cmd/capsim: it validates workload metrics
+// (refining contaminated ones), groups servers, fits the workload→QoS
+// models, and prints the right-sized server count per pool per datacenter.
+//
+// Usage:
+//
+//	capsim -days 2 -pools B,D -out bd.csv
+//	capplan -in bd.csv -budget 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"headroom"
+	"headroom/internal/metrics"
+	"headroom/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "capplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("capplan", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input trace file (csv or jsonl by extension)")
+		budget = fs.Float64("budget", 5, "acceptable latency increase in ms")
+		seed   = fs.Int64("seed", 1, "seed for clustering and robust fits")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in trace file")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+
+	var records []trace.Record
+	if strings.HasSuffix(*in, ".jsonl") {
+		records, err = trace.ReadJSONL(f)
+	} else {
+		records, err = trace.ReadCSV(f)
+	}
+	if err != nil {
+		return fmt.Errorf("read trace: %w", err)
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("trace %q is empty", *in)
+	}
+
+	agg := metrics.NewAggregator()
+	agg.AddAll(records)
+	plans, err := headroom.Plan(agg, headroom.PlanConfig{LatencyBudgetMs: *budget, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%-6s %-6s %-7s %-8s %-8s %-9s %-10s %-10s %s\n",
+		"pool", "dc", "groups", "current", "target", "savings", "base_ms", "fcst_ms", "status")
+	var totalCur, totalNew int
+	for _, p := range plans {
+		status := "ok"
+		if p.Refined {
+			status = "ok (metric refined)"
+		}
+		if !p.Plannable {
+			fmt.Fprintf(out, "%-6s %-6s %-7s %-8s %-8s %-9s %-10s %-10s %s\n",
+				p.Pool, p.DC, "-", "-", "-", "-", "-", "-", "skipped: "+p.Reason)
+			continue
+		}
+		totalCur += p.CurrentServers
+		totalNew += p.RecommendedServers
+		fmt.Fprintf(out, "%-6s %-6s %-7d %-8d %-8d %-9s %-10.1f %-10.1f %s\n",
+			p.Pool, p.DC, p.Groups, p.CurrentServers, p.RecommendedServers,
+			fmt.Sprintf("%.0f%%", 100*p.SavingsFrac), p.BaselineLatencyMs, p.ForecastLatencyMs, status)
+	}
+	if totalCur > 0 {
+		fmt.Fprintf(out, "\ntotal: %d -> %d servers (%.0f%% savings) within a %.1f ms latency budget\n",
+			totalCur, totalNew, 100*(1-float64(totalNew)/float64(totalCur)), *budget)
+	}
+	return nil
+}

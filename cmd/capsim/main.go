@@ -1,0 +1,99 @@
+// Command capsim simulates the paper-shaped global service fleet and writes
+// its 120-second observation windows as a trace (CSV or JSON Lines), the
+// input of cmd/capplan.
+//
+// Usage:
+//
+//	capsim -days 1 -seed 1 -format csv -out fleet.csv
+//	capsim -days 2 -pools B,D -format jsonl -out bd.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"headroom"
+	"headroom/internal/sim"
+	"headroom/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("capsim", flag.ContinueOnError)
+	var (
+		days   = fs.Int("days", 1, "days to simulate")
+		seed   = fs.Int64("seed", 1, "deterministic seed")
+		format = fs.String("format", "csv", "output format: csv or jsonl")
+		out    = fs.String("out", "", "output file (default stdout)")
+		pools  = fs.String("pools", "", "comma-separated pool names to keep (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *days <= 0 {
+		return fmt.Errorf("days must be positive, got %d", *days)
+	}
+
+	cfg := headroom.DefaultFleet(*seed)
+	if *pools != "" {
+		keep := map[string]bool{}
+		for _, p := range strings.Split(*pools, ",") {
+			keep[strings.TrimSpace(p)] = true
+		}
+		var filtered []sim.PoolConfig
+		for _, pc := range cfg.Pools {
+			if keep[pc.Name] {
+				filtered = append(filtered, pc)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no pools match %q", *pools)
+		}
+		cfg.Pools = filtered
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var write func(trace.Record) error
+	var flush func() error
+	switch *format {
+	case "csv":
+		cw := trace.NewCSVWriter(w)
+		write, flush = cw.Write, cw.Flush
+	case "jsonl":
+		jw := trace.NewJSONLWriter(w)
+		write, flush = jw.Write, jw.Flush
+	default:
+		return fmt.Errorf("unknown format %q (want csv or jsonl)", *format)
+	}
+
+	var n int
+	if err := headroom.SimulateStream(cfg, *days, func(r trace.Record) error {
+		n++
+		return write(r)
+	}); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "capsim: wrote %d records (%d pools, %d days, seed %d)\n",
+		n, len(cfg.Pools), *days, *seed)
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's evaluation artifacts — every
+// table and figure plus the ablations — from the simulated fleet, printing
+// the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig9
+//	experiments -run all -fast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"headroom/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		id   = fs.String("run", "all", "experiment ID to run, or 'all'")
+		seed = fs.Int64("seed", 1, "deterministic seed")
+		fast = fs.Bool("fast", false, "shorten observation horizons")
+		list = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	cfg := experiments.Config{Seed: *seed, Fast: *fast}
+	if *id != "all" {
+		exp, err := experiments.ByID(*id)
+		if err != nil {
+			return err
+		}
+		res, err := exp.Run(cfg)
+		if err != nil {
+			return err
+		}
+		return res.Render(os.Stdout)
+	}
+	for _, e := range experiments.Registry {
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Autoscale comparison: the paper's §I argument, quantified. On the same
+// pool-B-like system under a diurnal day with an unplanned 4x event, compare
+// the black-box headroom plan against a naive M/M/c queueing plan, a
+// calibrated M/M/c plan, and a reactive autoscaler with realistic
+// provisioning lag.
+//
+//	go run ./examples/autoscalecompare
+package main
+
+import (
+	"log"
+	"os"
+
+	"headroom/internal/experiments"
+)
+
+func main() {
+	exp, err := experiments.ByID("ablation-planners")
+	if err != nil {
+		log.Fatalf("lookup: %v", err)
+	}
+	res, err := exp.Run(experiments.Config{Seed: 1})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		log.Fatalf("render: %v", err)
+	}
+}

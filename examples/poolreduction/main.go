@@ -1,0 +1,47 @@
+// Pool reduction: reproduce the paper's §II-B2 iterative server-reduction
+// experiment (Figure 7). A supervised RSM loop removes servers from pool B
+// in steps, observes the latency response, extrapolates along the fitted
+// quadratic, and stops before the QoS limit would be breached.
+//
+//	go run ./examples/poolreduction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"headroom"
+)
+
+func main() {
+	// The plant is pool B receiving its organic diurnal traffic share in
+	// DC 1. In production this loop is supervised by service operators;
+	// here the simulator stands in for the live pool.
+	plant := &headroom.SimPlant{
+		Pool:      headroom.PoolB(),
+		DC:        headroom.NineRegions()[0], // DC 1
+		NoiseFrac: 0.03,
+		Seed:      7,
+	}
+
+	res, err := headroom.RunRSM(plant, headroom.RSMConfig{
+		InitialServers: 300,
+		QoSLimitMs:     36, // current p95 latency + the 5 ms business budget
+		StepFrac:       0.10,
+		ObserveTicks:   720, // one day per iteration
+		MaxIterations:  10,
+		Seed:           8,
+	})
+	if err != nil {
+		log.Fatalf("rsm: %v", err)
+	}
+
+	fmt.Println("iter  servers  observed_latency  forecast_next")
+	for i, it := range res.Iterations {
+		fmt.Printf("%3d   %6d   %8.1f ms       %8.1f ms (at %d servers)\n",
+			i+1, it.Servers, it.ObservedLatencyMs, it.ForecastNextMs, it.NextServers)
+	}
+	fmt.Printf("\nstopped: %s\n", res.Stopped)
+	fmt.Printf("final:   %d servers (%.0f%% savings)\n", res.FinalServers, 100*res.SavingsFrac)
+	fmt.Printf("model:   %s\n", res.Model)
+}

@@ -1,0 +1,55 @@
+// Quickstart: simulate two micro-service pools of a global online service
+// for a day, run the black-box capacity-planning pipeline over the observed
+// traces, and print the right-sizing recommendation for every pool in every
+// datacenter.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"headroom"
+)
+
+func main() {
+	// The paper's two reduction-experiment subjects: pool B (query
+	// modification) and pool D (traffic routing / page rendering).
+	fleet := headroom.FleetConfig{
+		DCs:               headroom.NineRegions(),
+		Pools:             []headroom.PoolConfig{headroom.PoolB(), headroom.PoolD()},
+		WorkloadNoiseFrac: 0.03,
+		Seed:              1,
+	}
+
+	// Step 0: collect a day of 120-second observation windows. The planner
+	// sees only these records, never the simulator's ground truth.
+	agg, err := headroom.Simulate(fleet, 1)
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+
+	// Steps 1-2: validate metrics, group servers, fit workload models, and
+	// right-size every pool within a 5 ms latency budget.
+	plans, err := headroom.Plan(agg, headroom.PlanConfig{LatencyBudgetMs: 5, Seed: 2})
+	if err != nil {
+		log.Fatalf("plan: %v", err)
+	}
+
+	fmt.Println("pool  dc     current -> target   savings  forecast latency")
+	var cur, next int
+	for _, p := range plans {
+		if !p.Plannable {
+			fmt.Printf("%-5s %-6s skipped: %s\n", p.Pool, p.DC, p.Reason)
+			continue
+		}
+		cur += p.CurrentServers
+		next += p.RecommendedServers
+		fmt.Printf("%-5s %-6s %4d    -> %4d     %5.1f%%  %.1f ms (from %.1f ms)\n",
+			p.Pool, p.DC, p.CurrentServers, p.RecommendedServers,
+			100*p.SavingsFrac, p.ForecastLatencyMs, p.BaselineLatencyMs)
+	}
+	fmt.Printf("\nfleet: %d -> %d servers (%.0f%% savings), QoS impact within budget\n",
+		cur, next, 100*(1-float64(next)/float64(cur)))
+}

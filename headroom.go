@@ -1,0 +1,166 @@
+// Package headroom is a reproduction of "Right-sizing Server Capacity
+// Headroom for Global Online Services" (Verbowski et al., ICDCS 2018): a
+// black-box capacity-planning methodology for large, low-latency,
+// geo-distributed online services, together with the fleet simulator,
+// statistics substrate, baselines and benchmark harness needed to reproduce
+// the paper's evaluation.
+//
+// The facade exposes the four-step pipeline:
+//
+//  1. Measure  — validate workload metrics, group servers (Simulate + Plan)
+//  2. Optimize — fit workload→QoS models and right-size pools (Plan, RunRSM)
+//  3. Model    — build and verify synthetic workloads (internal/synth)
+//  4. Validate — gate changes offline before deployment (ValidateChange)
+//
+// Paper tables and figures are regenerated through RunExperiment /
+// Experiments; `go test -bench .` runs one benchmark per artifact.
+package headroom
+
+import (
+	"headroom/internal/core"
+	"headroom/internal/forecast"
+	"headroom/internal/metrics"
+	"headroom/internal/optimize"
+	"headroom/internal/sim"
+	"headroom/internal/slo"
+	"headroom/internal/trace"
+	"headroom/internal/validate"
+	"headroom/internal/workload"
+)
+
+// Re-exported types: the facade aliases the internal implementation so a
+// downstream user needs a single import.
+type (
+	// FleetConfig describes a simulated service (datacenters + pools).
+	FleetConfig = sim.FleetConfig
+	// PoolConfig describes one micro-service server pool.
+	PoolConfig = sim.PoolConfig
+	// ResponseParams is a pool's ground-truth response model.
+	ResponseParams = sim.ResponseParams
+	// Action is a scheduled operational change (reduction, deployment).
+	Action = sim.Action
+	// Record is one 120-second observation window for one server.
+	Record = trace.Record
+	// Aggregator turns records into pool/server statistics.
+	Aggregator = metrics.Aggregator
+	// PlanConfig controls a planning pass.
+	PlanConfig = core.PlanConfig
+	// PoolPlan is the planning outcome for one pool in one datacenter.
+	PoolPlan = core.PoolPlan
+	// RSMConfig controls an iterative reduction experiment.
+	RSMConfig = optimize.RSMConfig
+	// RSMResult is the outcome of a reduction experiment.
+	RSMResult = optimize.RSMResult
+	// Plant is a system that can run a pool at a server count and report
+	// observations (the simulator, in this reproduction).
+	Plant = optimize.Plant
+	// SimPlant adapts the simulator to the Plant interface.
+	SimPlant = core.SimPlant
+	// ValidateConfig controls an offline A/B validation run.
+	ValidateConfig = validate.Config
+	// Change is a candidate modification under offline validation.
+	Change = validate.Change
+	// ValidateReport is the outcome of an offline validation run.
+	ValidateReport = validate.Report
+	// Datacenter is one region of the simulated topology.
+	Datacenter = workload.Datacenter
+	// Pattern is a diurnal traffic pattern.
+	Pattern = workload.Pattern
+	// SLOSet is a micro-service's QoS requirement as a set of objectives.
+	SLOSet = slo.Set
+	// SLOReport is the evaluation of an SLO set against observations.
+	SLOReport = slo.Report
+	// ForecastModel is a fitted workload trend + daily-seasonality model.
+	ForecastModel = forecast.Model
+	// PoolModel is the fitted workload→resource/QoS model of a pool.
+	PoolModel = optimize.PoolModel
+	// DCCapacity and DRPlan drive disaster-recovery sizing.
+	DCCapacity = optimize.DCCapacity
+	DRPlan     = optimize.DRPlan
+)
+
+// DefaultFleet returns the paper-shaped fleet: pools A-I (Table I and the
+// figure case studies) plus a filler population shaping the fleet-wide
+// utilisation and availability distributions of Figures 12-14.
+func DefaultFleet(seed int64) FleetConfig { return sim.DefaultFleet(seed) }
+
+// PoolB returns the paper's pool B (the 30% reduction experiment subject).
+func PoolB() PoolConfig { return sim.PoolB() }
+
+// PoolD returns the paper's pool D (the 10% reduction experiment subject).
+func PoolD() PoolConfig { return sim.PoolD() }
+
+// NineRegions returns the nine-datacenter global topology.
+func NineRegions() []Datacenter { return workload.NineRegions() }
+
+// Simulate runs a fleet for the given number of days and returns the
+// aggregated observations. Scheduled actions model reduction experiments
+// and deployments.
+func Simulate(cfg FleetConfig, days int, actions ...Action) (*Aggregator, error) {
+	s, err := sim.New(cfg, actions...)
+	if err != nil {
+		return nil, err
+	}
+	agg := metrics.NewAggregator()
+	if err := s.Run(days*s.TicksPerDay(), func(r Record) error {
+		agg.Add(r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// SimulateStream runs a fleet and streams every record through emit,
+// for workloads too large to aggregate in one pass.
+func SimulateStream(cfg FleetConfig, days int, emit func(Record) error, actions ...Action) error {
+	s, err := sim.New(cfg, actions...)
+	if err != nil {
+		return err
+	}
+	return s.Run(days*s.TicksPerDay(), emit)
+}
+
+// Plan runs Steps 1-2 of the methodology over aggregated observations:
+// metric validation (with refinement), server grouping, model fitting, and
+// right-sizing each pool within the latency budget.
+func Plan(agg *Aggregator, cfg PlanConfig) ([]PoolPlan, error) {
+	return core.Plan(agg, cfg)
+}
+
+// RunRSM executes the iterative server-reduction experiment of §II-B2
+// against a plant, stopping at the QoS limit.
+func RunRSM(plant Plant, cfg RSMConfig) (RSMResult, error) {
+	return optimize.RunRSM(plant, cfg)
+}
+
+// ValidateChange runs the offline A/B regression harness of §II-D: two
+// identical pools, identical synthetic workload sweeps, one with the change.
+func ValidateChange(cfg ValidateConfig, change Change) (ValidateReport, error) {
+	return validate.Run(cfg, change)
+}
+
+// TypicalSLO returns the SLO set the paper describes as typical for large
+// online services (p95 latency bound, 99.95% availability, low errors).
+func TypicalSLO(service string, latencyMs float64) SLOSet {
+	return slo.Typical(service, latencyMs)
+}
+
+// EvaluateSLO checks a pool's observation series and availability against
+// its QoS requirement.
+func EvaluateSLO(set SLOSet, series []metrics.TickStat, meanAvailability float64) (SLOReport, error) {
+	return slo.Evaluate(set, series, meanAvailability)
+}
+
+// ForecastWorkload fits a trend + daily-seasonality model to an offered-load
+// series, the workload-trend input capacity planners combine with QoS
+// requirements (§II).
+func ForecastWorkload(series []float64, ticksPerDay int) (ForecastModel, error) {
+	return forecast.Fit(series, ticksPerDay)
+}
+
+// FitPoolModel fits the workload models (linear CPU, quadratic latency)
+// from pool history — the building block behind Plan.
+func FitPoolModel(series []metrics.TickStat) (PoolModel, error) {
+	return optimize.FitPoolModel(series)
+}

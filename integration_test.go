@@ -1,0 +1,268 @@
+package headroom_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"headroom"
+	"headroom/internal/forecast"
+	"headroom/internal/metrics"
+	"headroom/internal/optimize"
+	"headroom/internal/sim"
+	"headroom/internal/slo"
+	"headroom/internal/synth"
+	"headroom/internal/trace"
+	"headroom/internal/workload"
+)
+
+// TestFullMethodologyPipeline walks the paper's complete loop on pool B:
+// measure production, plan a reduction, verify a synthetic workload, gate a
+// change offline, run the reduction, and confirm the forecast QoS held.
+func TestFullMethodologyPipeline(t *testing.T) {
+	pool := sim.PoolB()
+	fleet := headroom.FleetConfig{
+		DCs:               headroom.NineRegions(),
+		Pools:             []headroom.PoolConfig{pool},
+		WorkloadNoiseFrac: 0.03,
+		Seed:              42,
+	}
+
+	// --- Step 1-2: measure production and plan. ---
+	agg, err := headroom.Simulate(fleet, 2)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	plans, err := headroom.Plan(agg, headroom.PlanConfig{LatencyBudgetMs: 5, Seed: 43})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	var dc1 headroom.PoolPlan
+	for _, p := range plans {
+		if p.DC == "DC 1" {
+			dc1 = p
+		}
+	}
+	if !dc1.Plannable || dc1.SavingsFrac <= 0.2 {
+		t.Fatalf("DC 1 plan unusable: %+v", dc1)
+	}
+
+	// --- Step 3: build and verify a synthetic workload. ---
+	prodSeries, err := agg.PoolSeries("DC 1", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := synth.BuildProfile(prodSeries, pool.Mix, 20, 12, 0.25)
+	if err != nil {
+		t.Fatalf("build profile: %v", err)
+	}
+	recs, err := synth.Replay(pool, profile, 20, 44)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	sagg := metrics.NewAggregator()
+	sagg.AddAll(recs)
+	synthSeries, err := sagg.PoolSeries("offline", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := synth.Verify(prodSeries, synthSeries, pool.Mix, profile.Mix, synth.Tolerance{})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !eq.Equivalent {
+		t.Fatalf("synthetic workload failed verification: %+v", eq)
+	}
+
+	// --- Step 4: offline-gate a benign change before the reduction. ---
+	rep, err := headroom.ValidateChange(headroom.ValidateConfig{
+		Pool: pool, Servers: 20,
+		Loads:         []float64{150, 300, 450, 600},
+		TicksPerLevel: 20, Seed: 45,
+	}, headroom.Change{Name: "config-tune", Apply: func(rp headroom.ResponseParams) headroom.ResponseParams {
+		rp.CPUIntercept *= 0.95
+		return rp
+	}})
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !rep.Acceptable {
+		t.Fatal("benign change should pass the gate")
+	}
+
+	// --- Execute the planned reduction and check the forecast held. ---
+	redAgg, err := headroom.Simulate(fleet, 2, headroom.Action{
+		Pool: "B", DC: "DC 1", Tick: 0, SetServers: dc1.RecommendedServers,
+	})
+	if err != nil {
+		t.Fatalf("reduced simulate: %v", err)
+	}
+	redSeries, err := redAgg.PoolSeries("DC 1", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat []float64
+	for _, ts := range redSeries {
+		if ts.Servers > 0 {
+			lat = append(lat, ts.LatencyMean)
+		}
+	}
+	observedP95 := percentileOf(lat, 95)
+	if math.Abs(observedP95-dc1.ForecastLatencyMs) > 2 {
+		t.Errorf("observed p95 latency %v vs forecast %v: gap too large",
+			observedP95, dc1.ForecastLatencyMs)
+	}
+
+	// --- SLO check on the reduced pool. ---
+	sums, err := redAgg.ServerSummaries("DC 1", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avail float64
+	for _, s := range sums {
+		avail += s.Availability
+	}
+	avail /= float64(len(sums))
+	sloRep, err := slo.Evaluate(slo.Set{
+		Service: "B",
+		Objectives: []slo.Objective{
+			{Name: "p95 latency", Kind: slo.LatencyPercentile, Percentile: 95, Threshold: dc1.BaselineLatencyMs + 5},
+		},
+	}, redSeries, avail)
+	if err != nil {
+		t.Fatalf("slo: %v", err)
+	}
+	if !sloRep.Met {
+		t.Errorf("reduced pool violates its SLO: %s", sloRep)
+	}
+}
+
+// TestForecastDrivenDisasterRecovery chains the workload forecaster into
+// the DR planner: predict next-day peaks per DC, then size every DC to
+// survive any single-region failure.
+func TestForecastDrivenDisasterRecovery(t *testing.T) {
+	pool := sim.PoolB()
+	fleet := headroom.FleetConfig{
+		DCs:               headroom.NineRegions(),
+		Pools:             []headroom.PoolConfig{pool},
+		WorkloadNoiseFrac: 0.03,
+		Seed:              50,
+	}
+	agg, err := headroom.Simulate(fleet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpd := workload.TicksPerDay(workload.TickDuration)
+
+	var caps []optimize.DCCapacity
+	var model optimize.PoolModel
+	for dcName, servers := range pool.Servers {
+		series, err := agg.PoolSeries(dcName, "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := make([]float64, 3*tpd)
+		for _, ts := range series {
+			if ts.Tick < len(loads) {
+				loads[ts.Tick] = ts.TotalRPS
+			}
+		}
+		fm, err := forecast.Fit(loads, tpd)
+		if err != nil {
+			t.Fatalf("forecast %s: %v", dcName, err)
+		}
+		peak, err := fm.PeakOverHorizon(3*tpd, tpd, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps = append(caps, optimize.DCCapacity{
+			DC: dcName, Servers: servers, PeakRPS: peak,
+			Weight: regionWeight(dcName),
+		})
+		if model.Windows == 0 {
+			model, err = optimize.FitPoolModel(series)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	plan, err := model.PlanDisasterRecovery(caps, 40)
+	if err != nil {
+		t.Fatalf("dr plan: %v", err)
+	}
+	if plan.TotalServers <= 0 {
+		t.Fatal("empty DR plan")
+	}
+	// With only two DCs, each must be able to carry everything: required
+	// counts well above the single-DC peak share.
+	for _, r := range plan.PerDC {
+		if r.Required <= 0 {
+			t.Errorf("%s requires %d servers", r.DC, r.Required)
+		}
+	}
+}
+
+// TestTraceRoundTripThroughPipeline checks the capsim->capplan file path:
+// records survive serialisation and the planner sees identical data.
+func TestTraceRoundTripThroughPipeline(t *testing.T) {
+	fleet := headroom.FleetConfig{
+		DCs:   headroom.NineRegions(),
+		Pools: []headroom.PoolConfig{headroom.PoolB()},
+		Seed:  60,
+	}
+	var buf bytes.Buffer
+	w := trace.NewCSVWriter(&buf)
+	if err := headroom.SimulateStream(fleet, 1, func(r headroom.Record) error {
+		return w.Write(r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := metrics.NewAggregator()
+	agg.AddAll(recs)
+	plans, err := headroom.Plan(agg, headroom.PlanConfig{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("plans = %d, want 2", len(plans))
+	}
+	for _, p := range plans {
+		if !p.Plannable {
+			t.Errorf("pool %s@%s not plannable after round trip: %s", p.Pool, p.DC, p.Reason)
+		}
+	}
+}
+
+func percentileOf(xs []float64, p float64) float64 {
+	cp := append([]float64(nil), xs...)
+	if len(cp) == 0 {
+		return math.NaN()
+	}
+	// simple nearest-rank percentile for test use
+	n := len(cp)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cp[j] < cp[i] {
+				cp[i], cp[j] = cp[j], cp[i]
+			}
+		}
+	}
+	idx := int(p / 100 * float64(n-1))
+	return cp[idx]
+}
+
+func regionWeight(dc string) float64 {
+	for _, d := range workload.NineRegions() {
+		if d.Name == dc {
+			return d.Weight
+		}
+	}
+	return 0
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastCfg runs experiments with shortened horizons.
+func fastCfg() Config { return Config{Seed: 1, Fast: true} }
+
+// run executes a registered experiment and sanity-checks the result shape.
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	exp, err := ByID(id)
+	if err != nil {
+		t.Fatalf("ByID(%s): %v", id, err)
+	}
+	res, err := exp.Run(fastCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID != id {
+		t.Errorf("result ID = %q, want %q", res.ID, id)
+	}
+	if len(res.Rows) == 0 {
+		t.Errorf("%s produced no rows", id)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatalf("%s render: %v", id, err)
+	}
+	if !strings.Contains(buf.String(), id) {
+		t.Errorf("%s render missing ID", id)
+	}
+	return res
+}
+
+func metric(t *testing.T, res *Result, name string) float64 {
+	t.Helper()
+	v, ok := res.Metrics[name]
+	if !ok {
+		t.Fatalf("%s: missing metric %q (have %v)", res.ID, name, keys(res.Metrics))
+	}
+	return v
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID should error")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be registered.
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"table2", "table3", "table4",
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res := run(t, "fig2")
+	if got := metric(t, res, "cpu_linear_dcs (paper: all)"); got != 6 {
+		t.Errorf("cpu linear in %v DCs, want 6", got)
+	}
+	if got := metric(t, res, "mem_pages_linear_dcs (paper: vertical noise, 0)"); got != 0 {
+		t.Errorf("mem_pages linear in %v DCs, want 0", got)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	res := run(t, "fig3")
+	if got := metric(t, res, "groups_found (paper: 2 clusters)"); got != 2 {
+		t.Errorf("groups = %v, want 2", got)
+	}
+	cool := metric(t, res, "cool_cluster_p95_centroid")
+	hot := metric(t, res, "hot_cluster_p95_centroid")
+	if cool >= hot {
+		t.Errorf("cool centroid %v should be below hot %v", cool, hot)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	res := run(t, "fig4")
+	med := metric(t, res, "median_surge_frac (paper 0.56)")
+	max := metric(t, res, "max_surge_frac (paper 1.27)")
+	if med < 0.4 || med > 0.75 {
+		t.Errorf("median surge = %v, want ~0.56", med)
+	}
+	if max < 1.0 || max > 1.6 {
+		t.Errorf("max surge = %v, want ~1.27", max)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	res := run(t, "fig5")
+	if got := metric(t, res, "max_latency_ms (paper <26)"); got >= 26 {
+		t.Errorf("max latency = %v, want < 26", got)
+	}
+	for _, dc := range []string{"DC 1", "DC 3", "DC 6"} {
+		if got := metric(t, res, "cpu_mae_"+dc); got > 1 {
+			t.Errorf("%s cpu MAE = %v, want <= 1 (linear model holds)", dc, got)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	res := run(t, "fig6")
+	ratio := metric(t, res, "dc5_peak_rps_ratio (paper ~4x)")
+	if ratio < 2.5 || ratio > 5 {
+		t.Errorf("peak ratio = %v, want ~4", ratio)
+	}
+	if got := metric(t, res, "dc5_event_latency_mae_ms"); got > 2 {
+		t.Errorf("DC5 event latency MAE = %v, want <= 2 (trend predicts 4x)", got)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	res := run(t, "fig7")
+	if got := metric(t, res, "iterations"); got < 2 {
+		t.Errorf("iterations = %v, want >= 2", got)
+	}
+	if got := metric(t, res, "savings_frac"); got <= 0.1 {
+		t.Errorf("savings = %v, want > 0.1", got)
+	}
+}
+
+func TestFig8Fig9PoolB(t *testing.T) {
+	res8 := run(t, "fig8")
+	slope := metric(t, res8, "orig_slope")
+	icpt := metric(t, res8, "orig_intercept")
+	if slope < 0.025 || slope > 0.031 {
+		t.Errorf("slope = %v, want ~0.028", slope)
+	}
+	if icpt < 0.9 || icpt > 1.9 {
+		t.Errorf("intercept = %v, want ~1.37", icpt)
+	}
+	if r2 := metric(t, res8, "orig_R2"); r2 < 0.9 {
+		t.Errorf("R2 = %v, want >= 0.9 (paper 0.984)", r2)
+	}
+
+	res9 := run(t, "fig9")
+	forecast := metric(t, res9, "forecast_latency_ms")
+	observed := metric(t, res9, "observed_latency_ms")
+	// Paper: forecast 31.5, measured 30.9 — ours must land in that band
+	// with a small gap.
+	if forecast < 29 || forecast > 34 {
+		t.Errorf("forecast latency = %v, want ~31.5", forecast)
+	}
+	if observed < 29 || observed > 34 {
+		t.Errorf("observed latency = %v, want ~30.9", observed)
+	}
+	if gap := metric(t, res9, "forecast_abs_error_ms"); gap > 1.5 {
+		t.Errorf("forecast error = %v ms, want <= 1.5 (paper 0.6)", gap)
+	}
+}
+
+func TestFig10Fig11PoolD(t *testing.T) {
+	res10 := run(t, "fig10")
+	slope := metric(t, res10, "orig_slope")
+	if slope < 0.085 || slope > 0.10 {
+		t.Errorf("slope = %v, want ~0.0916", slope)
+	}
+	res11 := run(t, "fig11")
+	forecast := metric(t, res11, "forecast_latency_ms")
+	observed := metric(t, res11, "observed_latency_ms")
+	if forecast < 49 || forecast > 57 {
+		t.Errorf("forecast = %v, want ~52.6", forecast)
+	}
+	if observed < 49 || observed > 57 {
+		t.Errorf("observed = %v, want ~50.7", observed)
+	}
+	if gap := metric(t, res11, "forecast_abs_error_ms"); gap > 3 {
+		t.Errorf("forecast error = %v, want <= 3 (paper 1.9)", gap)
+	}
+	// DC 4 replication: latency shifts by a few ms upward (paper 59->61).
+	base := metric(t, res11, "dc4_baseline_latency_ms")
+	obs := metric(t, res11, "dc4_observed_latency_ms")
+	if obs <= base-1 {
+		t.Errorf("DC4 latency %v should not drop well below baseline %v", obs, base)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	res := run(t, "table2")
+	if got := metric(t, res, "p95_rps_original"); got < 310 || got > 450 {
+		t.Errorf("original p95 = %v, want ~377", got)
+	}
+	change := metric(t, res, "p95_change_frac")
+	if change < 0.35 || change > 0.60 {
+		t.Errorf("p95 change = %v, want ~+0.43", change)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	res := run(t, "table3")
+	if got := metric(t, res, "p95_rps_original"); got < 60 || got > 95 {
+		t.Errorf("original p95 = %v, want ~78", got)
+	}
+	change := metric(t, res, "p95_change_frac")
+	if change < 0.12 || change > 0.35 {
+		t.Errorf("p95 change = %v, want ~+0.22", change)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	res := run(t, "table4")
+	eff := metric(t, res, "efficiency_savings (paper 0.20)")
+	online := metric(t, res, "online_savings (paper 0.10)")
+	total := metric(t, res, "total_savings (paper 0.30)")
+	if eff < 0.15 || eff > 0.35 {
+		t.Errorf("efficiency savings = %v, want ~0.20-0.30", eff)
+	}
+	if online < 0.05 || online > 0.15 {
+		t.Errorf("online savings = %v, want ~0.10", online)
+	}
+	if total < 0.20 || total > 0.45 {
+		t.Errorf("total savings = %v, want ~0.30", total)
+	}
+	if lat := metric(t, res, "avg_latency_impact_ms (paper ~5)"); lat > 5.5 {
+		t.Errorf("avg latency impact = %v, want <= 5.5", lat)
+	}
+}
+
+func TestFig12To14FleetShape(t *testing.T) {
+	res12 := run(t, "fig12")
+	if got := metric(t, res12, "frac_p95_le_15 (paper ~0.60)"); got < 0.45 || got > 0.70 {
+		t.Errorf("p95<=15 frac = %v, want ~0.60", got)
+	}
+	if got := metric(t, res12, "frac_p95_lt_30 (paper ~0.80)"); got < 0.70 || got > 0.90 {
+		t.Errorf("p95<30 frac = %v, want ~0.80", got)
+	}
+
+	res13 := run(t, "fig13")
+	if got := metric(t, res13, "frac_above_25 (paper 0.01)"); got > 0.10 {
+		t.Errorf("samples>25 = %v, want rare", got)
+	}
+	if got := metric(t, res13, "frac_above_40 (paper <0.001)"); got > 0.04 {
+		t.Errorf("samples>40 = %v, want very rare", got)
+	}
+
+	res14 := run(t, "fig14")
+	if got := metric(t, res14, "mean_availability (paper 0.83)"); got < 0.78 || got > 0.92 {
+		t.Errorf("mean availability = %v, want ~0.83-0.85", got)
+	}
+}
+
+func TestFig15(t *testing.T) {
+	res := run(t, "fig15")
+	c := metric(t, res, "mean_C (paper ~0.90)")
+	d := metric(t, res, "mean_D (paper ~0.98)")
+	h := metric(t, res, "mean_H (paper ~0.98)")
+	if c > 0.93 || c < 0.82 {
+		t.Errorf("pool C availability = %v, want ~0.90", c)
+	}
+	if d < 0.96 || h < 0.96 {
+		t.Errorf("pools D/H availability = %v/%v, want ~0.98", d, h)
+	}
+}
+
+func TestFig16(t *testing.T) {
+	res := run(t, "fig16")
+	if metric(t, res, "latency_regression_detected") != 1 {
+		t.Error("regression should be detected")
+	}
+	if metric(t, res, "memory_leak_fixed") != 1 {
+		t.Error("memory improvement should be confirmed")
+	}
+	if metric(t, res, "acceptable_for_deploy") != 0 {
+		t.Error("change must be blocked")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	ransac := run(t, "ablation-ransac")
+	if metric(t, ransac, "ransac_worst_err_ms") >= metric(t, ransac, "ols_worst_err_ms") {
+		t.Error("RANSAC should beat OLS under contamination")
+	}
+	deg := run(t, "ablation-degree")
+	if metric(t, deg, "deg2_err_ms") >= metric(t, deg, "deg1_err_ms") {
+		t.Error("degree 2 should beat degree 1 on quadratic truth")
+	}
+	run(t, "ablation-partitions")
+	planners := run(t, "ablation-planners")
+	if metric(t, planners, "mmc_naive_servers") <= 2*metric(t, planners, "blackbox_servers") {
+		t.Error("naive M/M/c should overprovision heavily")
+	}
+	if metric(t, planners, "black-box_violations") != 0 {
+		t.Error("black-box plan must meet the SLO")
+	}
+	if metric(t, planners, "reactive_violations") == 0 {
+		t.Error("reactive scaling should show violations under lag")
+	}
+}
+
+func TestGroupingTree(t *testing.T) {
+	res := run(t, "grouping-tree")
+	if got := metric(t, res, "cv_auc (paper 0.9804)"); got < 0.90 {
+		t.Errorf("AUC = %v, want >= 0.90 (paper 0.9804)", got)
+	}
+	if got := metric(t, res, "splits (paper 34)"); got < 1 {
+		t.Errorf("splits = %v, want >= 1", got)
+	}
+	if got := metric(t, res, "cv_accuracy"); got < 0.85 {
+		t.Errorf("accuracy = %v, want >= 0.85", got)
+	}
+	b := metric(t, res, "score_poolB (predictable)")
+	s := metric(t, res, "score_poolS2 (spiky)")
+	if b <= s {
+		t.Errorf("pool B score %v should exceed spiky pool score %v", b, s)
+	}
+}

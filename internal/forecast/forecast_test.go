@@ -1,0 +1,139 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"headroom/internal/workload"
+)
+
+// grownDiurnal builds a load series with linear growth and a diurnal shape.
+func grownDiurnal(days, ticksPerDay int, base, growthPerDay, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := workload.Pattern{BaseRPS: 1, PeakToTrough: 2.4, PeakHour: 13}
+	out := make([]float64, days*ticksPerDay)
+	for t := range out {
+		level := base + growthPerDay*float64(t)/float64(ticksPerDay)
+		shape := p.At(float64(t%ticksPerDay) / float64(ticksPerDay))
+		out[t] = level * shape * (1 + noise*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestFitRecoversTrendAndSeason(t *testing.T) {
+	tpd := 720
+	series := grownDiurnal(7, tpd, 100000, 2000, 0.02, 1)
+	m, err := Fit(series, tpd)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if g := m.GrowthPerDay(); math.Abs(g-2000) > 300 {
+		t.Errorf("growth/day = %v, want ~2000", g)
+	}
+	// Seasonal profile: peak near tick 13/24 of the day, normalised mean 1.
+	var mean float64
+	for _, s := range m.Seasonal {
+		mean += s
+	}
+	mean /= float64(tpd)
+	if math.Abs(mean-1) > 1e-9 {
+		t.Errorf("seasonal mean = %v, want 1", mean)
+	}
+	peakTick := 0
+	for i, s := range m.Seasonal {
+		if s > m.Seasonal[peakTick] {
+			peakTick = i
+		}
+	}
+	wantPeak := 13 * tpd / 24
+	if d := peakTick - wantPeak; d < -30 || d > 30 {
+		t.Errorf("seasonal peak at tick %d, want ~%d", peakTick, wantPeak)
+	}
+	if m.ResidualStd > 0.05 {
+		t.Errorf("residual std = %v, want small", m.ResidualStd)
+	}
+}
+
+func TestPredictForward(t *testing.T) {
+	tpd := 720
+	series := grownDiurnal(7, tpd, 100000, 2000, 0.02, 2)
+	m, err := Fit(series, tpd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate day 8 and compare point predictions.
+	truth := grownDiurnal(9, tpd, 100000, 2000, 0, 3) // noiseless extension
+	var mape float64
+	n := 0
+	for tick := 7 * tpd; tick < 8*tpd; tick++ {
+		pred := m.Predict(tick)
+		actual := truth[tick]
+		if actual > 0 {
+			mape += math.Abs(pred-actual) / actual
+			n++
+		}
+	}
+	mape /= float64(n)
+	if mape > 0.03 {
+		t.Errorf("day-8 MAPE = %v, want <= 3%%", mape)
+	}
+}
+
+func TestPeakOverHorizon(t *testing.T) {
+	tpd := 720
+	series := grownDiurnal(4, tpd, 50000, 1000, 0.02, 4)
+	m, err := Fit(series, tpd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := m.PeakOverHorizon(4*tpd, tpd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Day-5 peak must exceed the day-5 mean level (diurnal amplitude) and
+	// sit above the day-1 peak (growth).
+	day5Level := 50000 + 1000*4.5
+	if peak < day5Level {
+		t.Errorf("horizon peak %v below day-5 mean level %v", peak, day5Level)
+	}
+	withMargin, err := m.PeakOverHorizon(4*tpd, tpd, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withMargin <= peak {
+		t.Error("safety margin should raise the provisioning peak")
+	}
+	if _, err := m.PeakOverHorizon(0, 0, 0); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, err := m.PeakOverHorizon(0, 1, -1); err == nil {
+		t.Error("negative margin should error")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 0); err == nil {
+		t.Error("bad ticksPerDay should error")
+	}
+	if _, err := Fit(make([]float64, 100), 720); err == nil {
+		t.Error("insufficient history should error")
+	}
+	neg := make([]float64, 1440)
+	neg[3] = -1
+	if _, err := Fit(neg, 720); err == nil {
+		t.Error("negative load should error")
+	}
+}
+
+func TestPredictFlatModel(t *testing.T) {
+	var m Model
+	m.Trend.Intercept = 100
+	if got := m.Predict(5); got != 100 {
+		t.Errorf("flat model Predict = %v, want 100", got)
+	}
+	m.Trend.Slope = -1000
+	if got := m.Predict(10); got != 0 {
+		t.Errorf("negative base should clamp to 0, got %v", got)
+	}
+}

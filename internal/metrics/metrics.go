@@ -1,0 +1,289 @@
+// Package metrics aggregates raw trace records into the pool-level and
+// server-level statistics the capacity-planning methodology consumes:
+// per-tick pool aggregates (workload, CPU, latency, secondary counters),
+// per-server utilisation summaries (the 5th..95th percentile feature set),
+// and availability accounting.
+//
+// This corresponds to the paper's measurement substrate: performance
+// counters averaged over 120-second windows, partitioned per workload and
+// per pool (§II-A, §III).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"headroom/internal/stats"
+	"headroom/internal/trace"
+)
+
+// PoolKey identifies a server pool in one datacenter.
+type PoolKey struct {
+	DC   string
+	Pool string
+}
+
+// String renders the key as "pool@dc".
+func (k PoolKey) String() string { return k.Pool + "@" + k.DC }
+
+// TickStat is a pool-level aggregate over one 120-second window: the mean
+// across the pool's online servers, as plotted in the paper's Figure 2.
+type TickStat struct {
+	Tick         int
+	Servers      int // online servers contributing to the window
+	TotalRPS     float64
+	RPSPerServer float64
+	CPUMean      float64
+	LatencyMean  float64 // mean of per-server p95 latency
+	NetBytes     float64
+	NetPkts      float64
+	MemPages     float64
+	DiskQueue    float64
+	DiskRead     float64
+	Errors       float64
+}
+
+// ServerSummary is the per-server daily feature set used for capacity-
+// planning group identification (§II-A2): CPU percentile features plus the
+// slope/intercept/R² of a regression across the percentile curve, and the
+// availability fraction.
+type ServerSummary struct {
+	Server       string
+	Generation   string
+	CPU          stats.Summary
+	Availability float64 // fraction of windows online
+	Windows      int
+	// Slope, Intercept and R2 are the linear-regression coefficients over
+	// the (percentile rank, CPU value) pairs, exactly the feature the
+	// paper adds to its decision-tree feature vector.
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FeatureVector renders the summary as the decision-tree input used by the
+// grouping step.
+func (s ServerSummary) FeatureVector() []float64 {
+	return []float64{s.CPU.P5, s.CPU.P25, s.CPU.P50, s.CPU.P75, s.CPU.P95, s.Slope, s.Intercept, s.R2}
+}
+
+// serverAcc accumulates one server's observations.
+type serverAcc struct {
+	generation string
+	cpu        []float64
+	online     int
+	windows    int
+}
+
+// tickAcc accumulates one pool-tick's online-server sums.
+type tickAcc struct {
+	servers   int
+	rps       float64
+	cpu       float64
+	latency   float64
+	netBytes  float64
+	netPkts   float64
+	memPages  float64
+	diskQueue float64
+	diskRead  float64
+	errs      float64
+}
+
+// poolAcc accumulates one pool's observations.
+type poolAcc struct {
+	ticks   map[int]*tickAcc
+	servers map[string]*serverAcc
+}
+
+// Aggregator consumes trace records and produces pool and server
+// aggregates. The zero value is not usable; construct with NewAggregator.
+type Aggregator struct {
+	pools map[PoolKey]*poolAcc
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{pools: make(map[PoolKey]*poolAcc)}
+}
+
+// Add ingests one record. Offline windows count toward availability but not
+// toward resource aggregates (an offline server serves no traffic).
+func (a *Aggregator) Add(r trace.Record) {
+	key := PoolKey{DC: r.DC, Pool: r.Pool}
+	p := a.pools[key]
+	if p == nil {
+		p = &poolAcc{ticks: make(map[int]*tickAcc), servers: make(map[string]*serverAcc)}
+		a.pools[key] = p
+	}
+	s := p.servers[r.Server]
+	if s == nil {
+		s = &serverAcc{generation: r.Generation}
+		p.servers[r.Server] = s
+	}
+	s.windows++
+	if !r.Online {
+		return
+	}
+	s.online++
+	s.cpu = append(s.cpu, r.CPUPct)
+
+	t := p.ticks[r.Tick]
+	if t == nil {
+		t = &tickAcc{}
+		p.ticks[r.Tick] = t
+	}
+	t.servers++
+	t.rps += r.RPS
+	t.cpu += r.CPUPct
+	t.latency += r.LatencyMs
+	t.netBytes += r.NetBytes
+	t.netPkts += r.NetPkts
+	t.memPages += r.MemPages
+	t.diskQueue += r.DiskQueue
+	t.diskRead += r.DiskRead
+	t.errs += r.Errors
+}
+
+// AddAll ingests a batch of records.
+func (a *Aggregator) AddAll(rs []trace.Record) {
+	for _, r := range rs {
+		a.Add(r)
+	}
+}
+
+// Pools lists the observed pool keys in deterministic order.
+func (a *Aggregator) Pools() []PoolKey {
+	keys := make([]PoolKey, 0, len(a.pools))
+	for k := range a.pools {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pool != keys[j].Pool {
+			return keys[i].Pool < keys[j].Pool
+		}
+		return keys[i].DC < keys[j].DC
+	})
+	return keys
+}
+
+// PoolSeries returns the pool's per-tick aggregates sorted by tick.
+func (a *Aggregator) PoolSeries(dc, pool string) ([]TickStat, error) {
+	p, ok := a.pools[PoolKey{DC: dc, Pool: pool}]
+	if !ok {
+		return nil, fmt.Errorf("metrics: no data for pool %s@%s", pool, dc)
+	}
+	out := make([]TickStat, 0, len(p.ticks))
+	for tick, t := range p.ticks {
+		n := float64(t.servers)
+		ts := TickStat{
+			Tick:     tick,
+			Servers:  t.servers,
+			TotalRPS: t.rps,
+		}
+		if t.servers > 0 {
+			ts.RPSPerServer = t.rps / n
+			ts.CPUMean = t.cpu / n
+			ts.LatencyMean = t.latency / n
+			ts.NetBytes = t.netBytes / n
+			ts.NetPkts = t.netPkts / n
+			ts.MemPages = t.memPages / n
+			ts.DiskQueue = t.diskQueue / n
+			ts.DiskRead = t.diskRead / n
+			ts.Errors = t.errs / n
+		}
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tick < out[j].Tick })
+	return out, nil
+}
+
+// ServerSummaries returns per-server summaries for a pool, sorted by server
+// name. Servers that were never online have a zero CPU summary.
+func (a *Aggregator) ServerSummaries(dc, pool string) ([]ServerSummary, error) {
+	p, ok := a.pools[PoolKey{DC: dc, Pool: pool}]
+	if !ok {
+		return nil, fmt.Errorf("metrics: no data for pool %s@%s", pool, dc)
+	}
+	out := make([]ServerSummary, 0, len(p.servers))
+	for name, s := range p.servers {
+		sum := ServerSummary{
+			Server:     name,
+			Generation: s.generation,
+			Windows:    s.windows,
+		}
+		if s.windows > 0 {
+			sum.Availability = float64(s.online) / float64(s.windows)
+		}
+		if len(s.cpu) > 0 {
+			sum.CPU = stats.Summarize(s.cpu)
+			ranks := []float64{5, 25, 50, 75, 95}
+			vals := []float64{sum.CPU.P5, sum.CPU.P25, sum.CPU.P50, sum.CPU.P75, sum.CPU.P95}
+			if fit, err := stats.LinearRegression(ranks, vals); err == nil {
+				sum.Slope = fit.Slope
+				sum.Intercept = fit.Intercept
+				sum.R2 = fit.R2
+			}
+		}
+		out = append(out, sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out, nil
+}
+
+// PoolAvailability returns, for each day, the pool's mean online fraction
+// (the paper's Figure 15 series). ticksPerDay must be positive.
+func (a *Aggregator) PoolAvailability(dc, pool string, ticksPerDay int) ([]float64, error) {
+	if ticksPerDay <= 0 {
+		return nil, errors.New("metrics: ticksPerDay must be positive")
+	}
+	p, ok := a.pools[PoolKey{DC: dc, Pool: pool}]
+	if !ok {
+		return nil, fmt.Errorf("metrics: no data for pool %s@%s", pool, dc)
+	}
+	total := len(p.servers)
+	if total == 0 {
+		return nil, fmt.Errorf("metrics: pool %s@%s has no servers", pool, dc)
+	}
+	maxTick := -1
+	for tick := range p.ticks {
+		if tick > maxTick {
+			maxTick = tick
+		}
+	}
+	days := maxTick/ticksPerDay + 1
+	online := make([]float64, days)
+	counts := make([]int, days)
+	for tick, t := range p.ticks {
+		d := tick / ticksPerDay
+		online[d] += float64(t.servers) / float64(total)
+		counts[d]++
+	}
+	for d := range online {
+		if counts[d] > 0 {
+			online[d] /= float64(counts[d])
+		}
+	}
+	return online, nil
+}
+
+// MergedServerSummaries concatenates the server summaries of a pool across
+// every datacenter it runs in, which is how the paper's Figure 3 scatter
+// (shapes are datacenters) is assembled.
+func (a *Aggregator) MergedServerSummaries(pool string) (map[string][]ServerSummary, error) {
+	out := make(map[string][]ServerSummary)
+	for _, key := range a.Pools() {
+		if key.Pool != pool {
+			continue
+		}
+		ss, err := a.ServerSummaries(key.DC, key.Pool)
+		if err != nil {
+			return nil, err
+		}
+		out[key.DC] = ss
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("metrics: no data for pool %s", pool)
+	}
+	return out, nil
+}

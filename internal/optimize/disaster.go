@@ -1,0 +1,170 @@
+package optimize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper's abstract claims the verified reductions had "effectively no
+// impact on ... the capacity required for disaster recovery": headroom
+// right-sizing must still leave every datacenter able to absorb the traffic
+// of any single failed region (the natural experiments of §II-B1 are exactly
+// such failovers). This file computes that N-1 requirement.
+
+// DCCapacity is one datacenter's state for disaster-recovery planning.
+type DCCapacity struct {
+	// DC names the datacenter.
+	DC string
+	// Servers is the pool's server count there.
+	Servers int
+	// PeakRPS is the datacenter's own peak offered load.
+	PeakRPS float64
+	// Weight is the datacenter's share of global traffic (used to
+	// redistribute a failed region's load to survivors).
+	Weight float64
+}
+
+// DRPlan is the disaster-recovery sizing result for one pool.
+type DRPlan struct {
+	// PerDC lists, for each datacenter, the servers needed to survive the
+	// worst single-region failure while meeting the QoS limit.
+	PerDC []DRRequirement
+	// TotalServers is the fleet-wide requirement.
+	TotalServers int
+	// WorstCaseDC is the failed datacenter that maximises total required
+	// capacity.
+	WorstCaseDC string
+}
+
+// DRRequirement is one datacenter's requirement.
+type DRRequirement struct {
+	DC string
+	// Required is the server count needed under the worst single-region
+	// failure affecting this datacenter.
+	Required int
+	// Current is the configured count; Deficit = Required - Current when
+	// positive.
+	Current int
+	Deficit int
+	// SurgeRPS is the peak load this datacenter must absorb in that
+	// failure.
+	SurgeRPS float64
+}
+
+// PlanDisasterRecovery sizes each datacenter of a pool so that the QoS
+// limit holds even when any single other datacenter fails and its traffic
+// redistributes to the survivors proportionally to weight. The model maps
+// per-server load to latency exactly as the reduction forecasts do.
+func (m PoolModel) PlanDisasterRecovery(dcs []DCCapacity, qosLimitMs float64) (DRPlan, error) {
+	if len(dcs) < 2 {
+		return DRPlan{}, fmt.Errorf("optimize: disaster recovery needs >= 2 datacenters, got %d", len(dcs))
+	}
+	if qosLimitMs <= 0 {
+		return DRPlan{}, fmt.Errorf("optimize: non-positive QoS limit %v", qosLimitMs)
+	}
+	var totalWeight float64
+	for _, dc := range dcs {
+		if dc.Weight < 0 || dc.PeakRPS < 0 {
+			return DRPlan{}, fmt.Errorf("optimize: datacenter %s has negative weight or load", dc.DC)
+		}
+		totalWeight += dc.Weight
+	}
+	if totalWeight <= 0 {
+		return DRPlan{}, fmt.Errorf("optimize: zero total weight")
+	}
+
+	// Per-server load the model can carry within the QoS limit.
+	maxPerServer, err := m.maxLoadWithinQoS(qosLimitMs)
+	if err != nil {
+		return DRPlan{}, err
+	}
+
+	plan := DRPlan{}
+	var worstTotal int
+	// Consider each single-DC failure; each surviving datacenter must
+	// absorb its weight-proportional share of the failed load on top of
+	// its own peak.
+	requirements := make(map[string]int, len(dcs))
+	for _, dc := range dcs {
+		requirements[dc.DC] = 0
+	}
+	surges := make(map[string]float64, len(dcs))
+	for _, failed := range dcs {
+		aliveWeight := totalWeight - failed.Weight
+		if aliveWeight <= 0 {
+			return DRPlan{}, fmt.Errorf("optimize: datacenter %s carries all traffic; cannot survive its loss", failed.DC)
+		}
+		var scenarioTotal int
+		for _, dc := range dcs {
+			if dc.DC == failed.DC {
+				continue
+			}
+			surge := dc.PeakRPS + failed.PeakRPS*dc.Weight/aliveWeight
+			req := int(surge/maxPerServer) + 1
+			if req > requirements[dc.DC] {
+				requirements[dc.DC] = req
+				surges[dc.DC] = surge
+			}
+			scenarioTotal += req
+		}
+		if scenarioTotal > worstTotal {
+			worstTotal = scenarioTotal
+			plan.WorstCaseDC = failed.DC
+		}
+	}
+
+	for _, dc := range dcs {
+		req := DRRequirement{
+			DC:       dc.DC,
+			Required: requirements[dc.DC],
+			Current:  dc.Servers,
+			SurgeRPS: surges[dc.DC],
+		}
+		if d := req.Required - req.Current; d > 0 {
+			req.Deficit = d
+		}
+		plan.PerDC = append(plan.PerDC, req)
+		plan.TotalServers += req.Required
+	}
+	sort.Slice(plan.PerDC, func(i, j int) bool { return plan.PerDC[i].DC < plan.PerDC[j].DC })
+	return plan, nil
+}
+
+// maxLoadWithinQoS finds the largest per-server load whose modelled latency
+// stays within the limit and CPU below 100%. Latency curves can be elevated
+// at LOW load (cold caches, per the paper's Figure 6), so feasibility may
+// begin mid-curve: the search first locates any feasible load geometrically,
+// then bisects toward the upper crossing.
+func (m PoolModel) maxLoadWithinQoS(qosLimitMs float64) (float64, error) {
+	ok := func(per float64) bool {
+		return m.Latency.Predict(per) <= qosLimitMs && m.CPU.Predict(per) < 100
+	}
+	// Find a feasible starting load.
+	lo := -1.0
+	for probe := 1.0; probe < 1e9; probe *= 2 {
+		if ok(probe) {
+			lo = probe
+			break
+		}
+	}
+	if lo < 0 {
+		return 0, fmt.Errorf("optimize: QoS limit %v ms unreachable at any load", qosLimitMs)
+	}
+	hi := lo
+	for ok(hi) && hi < 1e9 {
+		lo = hi
+		hi *= 2
+	}
+	if hi >= 1e9 {
+		return lo, nil // effectively unconstrained in any realistic range
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,142 @@
+package optimize
+
+import (
+	"testing"
+
+	"headroom/internal/stats"
+)
+
+func poolBModel() PoolModel {
+	return PoolModel{
+		CPU:     stats.LinearFit{Slope: 0.028, Intercept: 1.37},
+		Latency: stats.Polynomial{Coeffs: []float64{36.68, -0.031, 4.028e-5}},
+	}
+}
+
+func TestPlanDisasterRecoveryBasics(t *testing.T) {
+	m := poolBModel()
+	dcs := []DCCapacity{
+		{DC: "DC 1", Servers: 300, PeakRPS: 120000, Weight: 0.5},
+		{DC: "DC 4", Servers: 250, PeakRPS: 100000, Weight: 0.3},
+		{DC: "DC 7", Servers: 150, PeakRPS: 60000, Weight: 0.2},
+	}
+	plan, err := m.PlanDisasterRecovery(dcs, 40)
+	if err != nil {
+		t.Fatalf("PlanDisasterRecovery: %v", err)
+	}
+	if len(plan.PerDC) != 3 {
+		t.Fatalf("PerDC = %d, want 3", len(plan.PerDC))
+	}
+	// Requirements must cover each DC's own peak plus its worst failover
+	// share: verify against the model's capacity directly.
+	maxPer, err := m.maxLoadWithinQoS(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range plan.PerDC {
+		if req.SurgeRPS <= 0 {
+			t.Errorf("%s has no surge load", req.DC)
+		}
+		// The required count must carry the surge within QoS.
+		per := req.SurgeRPS / float64(req.Required)
+		if per > maxPer {
+			t.Errorf("%s: %d servers leave %v RPS/server beyond QoS capacity %v",
+				req.DC, req.Required, per, maxPer)
+		}
+		// And must be minimal (one fewer server would exceed capacity) —
+		// allow the +1 rounding server.
+		if req.Required > 2 {
+			perLess := req.SurgeRPS / float64(req.Required-2)
+			if perLess <= maxPer {
+				t.Errorf("%s: requirement %d not minimal", req.DC, req.Required)
+			}
+		}
+	}
+	if plan.WorstCaseDC == "" {
+		t.Error("worst-case DC unidentified")
+	}
+	if plan.TotalServers <= 0 {
+		t.Error("zero total requirement")
+	}
+}
+
+func TestPlanDisasterRecoveryDeficit(t *testing.T) {
+	m := poolBModel()
+	// Deliberately undersized DC 2.
+	dcs := []DCCapacity{
+		{DC: "DC 1", Servers: 400, PeakRPS: 120000, Weight: 0.5},
+		{DC: "DC 2", Servers: 10, PeakRPS: 120000, Weight: 0.5},
+	}
+	plan, err := m.PlanDisasterRecovery(dcs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dc2 DRRequirement
+	for _, r := range plan.PerDC {
+		if r.DC == "DC 2" {
+			dc2 = r
+		}
+	}
+	if dc2.Deficit <= 0 {
+		t.Errorf("undersized DC should show a deficit, got %+v", dc2)
+	}
+}
+
+func TestPlanDisasterRecoveryErrors(t *testing.T) {
+	m := poolBModel()
+	one := []DCCapacity{{DC: "A", Servers: 1, PeakRPS: 1, Weight: 1}}
+	if _, err := m.PlanDisasterRecovery(one, 40); err == nil {
+		t.Error("single DC should error")
+	}
+	two := []DCCapacity{
+		{DC: "A", Servers: 1, PeakRPS: 1, Weight: 1},
+		{DC: "B", Servers: 1, PeakRPS: 1, Weight: 0},
+	}
+	if _, err := m.PlanDisasterRecovery(two, 0); err == nil {
+		t.Error("zero QoS limit should error")
+	}
+	if _, err := m.PlanDisasterRecovery(two, 40); err == nil {
+		t.Error("DC carrying all weight should error (cannot survive its loss)")
+	}
+	neg := []DCCapacity{
+		{DC: "A", Servers: 1, PeakRPS: -1, Weight: 0.5},
+		{DC: "B", Servers: 1, PeakRPS: 1, Weight: 0.5},
+	}
+	if _, err := m.PlanDisasterRecovery(neg, 40); err == nil {
+		t.Error("negative load should error")
+	}
+	// QoS below the latency intercept is unreachable.
+	if _, err := m.PlanDisasterRecovery([]DCCapacity{
+		{DC: "A", Servers: 1, PeakRPS: 10, Weight: 0.5},
+		{DC: "B", Servers: 1, PeakRPS: 10, Weight: 0.5},
+	}, 5); err == nil {
+		t.Error("unreachable QoS should error")
+	}
+}
+
+func TestMaxLoadWithinQoS(t *testing.T) {
+	m := poolBModel()
+	per, err := m.maxLoadWithinQoS(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// quad(per) == 36 around per ~ 707 for the pool B curve.
+	if per < 650 || per > 780 {
+		t.Errorf("max per-server load = %v, want ~707", per)
+	}
+	if m.Latency.Predict(per) > 36.01 {
+		t.Errorf("capacity point violates QoS: %v", m.Latency.Predict(per))
+	}
+	// CPU cap binds when the latency curve is flat.
+	flat := PoolModel{
+		CPU:     stats.LinearFit{Slope: 0.1, Intercept: 0},
+		Latency: stats.Polynomial{Coeffs: []float64{5}},
+	}
+	per, err = flat.maxLoadWithinQoS(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per >= 1000 {
+		t.Errorf("CPU cap should bind near 1000 RPS, got %v", per)
+	}
+}

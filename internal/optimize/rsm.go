@@ -1,0 +1,177 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+
+	"headroom/internal/metrics"
+	"headroom/internal/stats"
+)
+
+// Plant is the system under experimentation: something that can run a pool
+// at a requested server count for a period and report the observed pool
+// aggregates. In production this is the live service (operators removing
+// servers under supervision); in this reproduction it is the simulator.
+type Plant interface {
+	// Observe runs the pool with the given active server count for the
+	// given number of ticks and returns per-tick aggregates.
+	Observe(servers, ticks int) ([]metrics.TickStat, error)
+}
+
+// RSMConfig controls the iterative reduction experiment of §II-B2
+// (Figure 7).
+type RSMConfig struct {
+	// InitialServers is the pool's nominal server count.
+	InitialServers int
+	// QoSLimitMs is the latency SLO; the experiment stops when the
+	// forecast for the next step would breach it (the paper's 14 ms line
+	// in Figure 7).
+	QoSLimitMs float64
+	// StepFrac is the fractional reduction per iteration (e.g. 0.10 =
+	// remove 10% of the current servers each step). Defaults to 0.10.
+	StepFrac float64
+	// ObserveTicks is the observation period per iteration (the paper ran
+	// each reduction for roughly one week). Defaults to 504 (one week of
+	// 20-minute... of 120 s windows is 5040; tests use shorter horizons).
+	ObserveTicks int
+	// MaxIterations bounds the loop. Defaults to 12.
+	MaxIterations int
+	// Seed drives the robust fits.
+	Seed int64
+}
+
+func (c RSMConfig) withDefaults() RSMConfig {
+	if c.StepFrac <= 0 {
+		c.StepFrac = 0.10
+	}
+	if c.ObserveTicks <= 0 {
+		c.ObserveTicks = 504
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 12
+	}
+	return c
+}
+
+// RSMIteration is one step of the reduction experiment.
+type RSMIteration struct {
+	// Servers is the active server count during this iteration.
+	Servers int
+	// ObservedLatencyMs is the mean observed p95 latency.
+	ObservedLatencyMs float64
+	// ObservedP95RPS is the 95th percentile of per-server load.
+	ObservedP95RPS float64
+	// ForecastNextMs is the model's latency forecast for the next
+	// (further reduced) server count.
+	ForecastNextMs float64
+	// NextServers is the server count the forecast evaluated.
+	NextServers int
+}
+
+// RSMResult is the outcome of the full experiment.
+type RSMResult struct {
+	Iterations []RSMIteration
+	// FinalServers is the last server count whose observed and forecast
+	// QoS stayed within the limit.
+	FinalServers int
+	// SavingsFrac is 1 - FinalServers/InitialServers.
+	SavingsFrac float64
+	// Model is the final fitted latency model against RPS/server, pooled
+	// over all iterations.
+	Model stats.Polynomial
+	// Stopped explains why the loop ended ("qos-forecast", "qos-observed",
+	// "max-iterations", "min-servers").
+	Stopped string
+}
+
+// RunRSM executes the iterative server-reduction experiment: observe,
+// model (robust quadratic of latency vs per-server load pooled across
+// iterations), extrapolate along the gradient to the next candidate server
+// count, and stop when the forecast breaches the QoS limit.
+func RunRSM(plant Plant, cfg RSMConfig) (RSMResult, error) {
+	if plant == nil {
+		return RSMResult{}, errors.New("optimize: nil plant")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.InitialServers <= 1 {
+		return RSMResult{}, fmt.Errorf("optimize: need > 1 initial server, got %d", cfg.InitialServers)
+	}
+	if cfg.QoSLimitMs <= 0 {
+		return RSMResult{}, fmt.Errorf("optimize: non-positive QoS limit %v", cfg.QoSLimitMs)
+	}
+
+	var (
+		res     RSMResult
+		allRPS  []float64
+		allLat  []float64
+		servers = cfg.InitialServers
+	)
+	res.FinalServers = servers
+	for it := 0; it < cfg.MaxIterations; it++ {
+		series, err := plant.Observe(servers, cfg.ObserveTicks)
+		if err != nil {
+			return RSMResult{}, fmt.Errorf("optimize: iteration %d observe: %w", it, err)
+		}
+		var rps, lat []float64
+		for _, t := range series {
+			if t.Servers == 0 {
+				continue
+			}
+			rps = append(rps, t.RPSPerServer)
+			lat = append(lat, t.LatencyMean)
+		}
+		if len(rps) < 6 {
+			return RSMResult{}, fmt.Errorf("optimize: iteration %d produced %d usable windows", it, len(rps))
+		}
+		allRPS = append(allRPS, rps...)
+		allLat = append(allLat, lat...)
+
+		iter := RSMIteration{
+			Servers:           servers,
+			ObservedLatencyMs: stats.Mean(lat),
+			ObservedP95RPS:    stats.Percentile(rps, 95),
+		}
+		if iter.ObservedLatencyMs > cfg.QoSLimitMs {
+			// The observation itself breached QoS: roll back one step.
+			res.Iterations = append(res.Iterations, iter)
+			res.Stopped = "qos-observed"
+			break
+		}
+		res.FinalServers = servers
+
+		// Model: robust quadratic over everything observed so far.
+		fit, err := stats.RANSAC(allRPS, allLat, stats.RANSACConfig{Degree: 2, Seed: cfg.Seed + int64(it), MaxIterations: 300})
+		if err != nil {
+			return RSMResult{}, fmt.Errorf("optimize: iteration %d fit: %w", it, err)
+		}
+		res.Model = fit.Model
+
+		// Extrapolate: forecast latency at the next reduction, holding the
+		// observed total load (the experimental control of §II-B2).
+		next := int(float64(servers) * (1 - cfg.StepFrac))
+		if next >= servers {
+			next = servers - 1
+		}
+		if next < 1 {
+			res.Iterations = append(res.Iterations, iter)
+			res.Stopped = "min-servers"
+			break
+		}
+		// p95 of per-server load scales with the count ratio.
+		nextP95 := iter.ObservedP95RPS * float64(servers) / float64(next)
+		iter.ForecastNextMs = fit.Model.Predict(nextP95)
+		iter.NextServers = next
+		res.Iterations = append(res.Iterations, iter)
+
+		if iter.ForecastNextMs > cfg.QoSLimitMs {
+			res.Stopped = "qos-forecast"
+			break
+		}
+		servers = next
+	}
+	if res.Stopped == "" {
+		res.Stopped = "max-iterations"
+	}
+	res.SavingsFrac = 1 - float64(res.FinalServers)/float64(cfg.InitialServers)
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package optimize
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"headroom/internal/metrics"
+	"headroom/internal/stats"
+)
+
+// quadPlant is a synthetic plant whose latency follows a known quadratic of
+// per-server load, like the paper's Figure 7 pool with a 14 ms QoS limit.
+type quadPlant struct {
+	totalRPS float64
+	lat      stats.Polynomial
+	noise    float64
+	rng      *rand.Rand
+	observes int
+}
+
+func (p *quadPlant) Observe(servers, ticks int) ([]metrics.TickStat, error) {
+	p.observes++
+	out := make([]metrics.TickStat, ticks)
+	for i := range out {
+		load := p.totalRPS * (1 + 0.05*p.rng.NormFloat64())
+		per := load / float64(servers)
+		out[i] = metrics.TickStat{
+			Tick:         i,
+			Servers:      servers,
+			TotalRPS:     load,
+			RPSPerServer: per,
+			CPUMean:      0.03*per + 2,
+			LatencyMean:  p.lat.Predict(per) + p.noise*p.rng.NormFloat64(),
+		}
+	}
+	return out, nil
+}
+
+func TestRunRSMStopsAtQoSLimit(t *testing.T) {
+	// Truth: latency 8 ms at the initial operating point, rising
+	// quadratically; QoS limit 14 ms (the paper's Figure 7 line).
+	plant := &quadPlant{
+		totalRPS: 50000,
+		lat:      stats.Polynomial{Coeffs: []float64{7, 0.001, 2e-5}},
+		noise:    0.15,
+		rng:      rand.New(rand.NewSource(1)),
+	}
+	res, err := RunRSM(plant, RSMConfig{
+		InitialServers: 200,
+		QoSLimitMs:     14,
+		StepFrac:       0.10,
+		ObserveTicks:   120,
+		MaxIterations:  15,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatalf("RunRSM: %v", err)
+	}
+	if res.Stopped != "qos-forecast" && res.Stopped != "qos-observed" {
+		t.Errorf("stopped = %q, want a QoS stop", res.Stopped)
+	}
+	if res.FinalServers >= 200 {
+		t.Errorf("no reduction achieved: %d", res.FinalServers)
+	}
+	if res.SavingsFrac <= 0.1 {
+		t.Errorf("savings = %v, want > 0.1", res.SavingsFrac)
+	}
+	// The final configuration must actually satisfy the QoS limit under
+	// the truth model.
+	per := plant.totalRPS / float64(res.FinalServers)
+	if truth := plant.lat.Predict(per); truth > 14 {
+		t.Errorf("final config violates QoS: %v ms at %d servers", truth, res.FinalServers)
+	}
+	// Latency must be monotonically non-decreasing across iterations
+	// (successive reductions increase per-server load), as in Figure 7.
+	for i := 1; i < len(res.Iterations); i++ {
+		if res.Iterations[i].ObservedLatencyMs < res.Iterations[i-1].ObservedLatencyMs-0.5 {
+			t.Errorf("iteration %d latency %v dropped below previous %v",
+				i, res.Iterations[i].ObservedLatencyMs, res.Iterations[i-1].ObservedLatencyMs)
+		}
+	}
+}
+
+func TestRunRSMMaxIterations(t *testing.T) {
+	// Flat latency far below the limit: the loop exhausts MaxIterations.
+	plant := &quadPlant{
+		totalRPS: 1000,
+		lat:      stats.Polynomial{Coeffs: []float64{5, 0, 1e-9}},
+		noise:    0.05,
+		rng:      rand.New(rand.NewSource(3)),
+	}
+	res, err := RunRSM(plant, RSMConfig{
+		InitialServers: 100,
+		QoSLimitMs:     100,
+		StepFrac:       0.10,
+		ObserveTicks:   60,
+		MaxIterations:  5,
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatalf("RunRSM: %v", err)
+	}
+	if res.Stopped != "max-iterations" {
+		t.Errorf("stopped = %q, want max-iterations", res.Stopped)
+	}
+	if len(res.Iterations) != 5 {
+		t.Errorf("iterations = %d, want 5", len(res.Iterations))
+	}
+	if plant.observes != 5 {
+		t.Errorf("observes = %d, want 5", plant.observes)
+	}
+}
+
+type errPlant struct{}
+
+func (errPlant) Observe(int, int) ([]metrics.TickStat, error) {
+	return nil, errors.New("boom")
+}
+
+func TestRunRSMErrors(t *testing.T) {
+	if _, err := RunRSM(nil, RSMConfig{InitialServers: 10, QoSLimitMs: 10}); err == nil {
+		t.Error("nil plant should error")
+	}
+	if _, err := RunRSM(errPlant{}, RSMConfig{InitialServers: 10, QoSLimitMs: 10}); err == nil {
+		t.Error("plant failure should propagate")
+	}
+	p := &quadPlant{totalRPS: 100, lat: stats.Polynomial{Coeffs: []float64{1}}, rng: rand.New(rand.NewSource(1))}
+	if _, err := RunRSM(p, RSMConfig{InitialServers: 1, QoSLimitMs: 10}); err == nil {
+		t.Error("single server should error")
+	}
+	if _, err := RunRSM(p, RSMConfig{InitialServers: 10, QoSLimitMs: 0}); err == nil {
+		t.Error("zero QoS limit should error")
+	}
+}

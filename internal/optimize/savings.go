@@ -1,0 +1,163 @@
+package optimize
+
+import (
+	"fmt"
+
+	"headroom/internal/metrics"
+	"headroom/internal/stats"
+)
+
+// BestPracticeAvailability is the availability of well-managed pools: the
+// paper observed 98% (2% infrastructure maintenance is irreducible) and uses
+// it as the target all pools could reach by improving planned-maintenance
+// practices.
+const BestPracticeAvailability = 0.98
+
+// SavingsRow is one row of the paper's Table IV: the capacity savings
+// opportunity for a pool across all datacenters.
+type SavingsRow struct {
+	Pool string
+	// EfficiencySavings is the fraction of servers removable while the
+	// latency forecast stays within the QoS budget ("Efficiency Savings").
+	EfficiencySavings float64
+	// LatencyImpactMs is the forecast latency increase at the reduced
+	// count ("Latency (QoS) Impact").
+	LatencyImpactMs float64
+	// OnlineSavings is the capacity recoverable by raising availability to
+	// best practice ("Online Savings").
+	OnlineSavings float64
+	// TotalSavings combines both ("Total Savings").
+	TotalSavings float64
+	// Servers is the pool's nominal server count across datacenters.
+	Servers int
+}
+
+// SavingsConfig controls the Table IV computation.
+type SavingsConfig struct {
+	// LatencyBudgetMs is the acceptable latency increase over the current
+	// operating point (the paper accepted an average of 5 ms, <1% of
+	// end-to-end latency).
+	LatencyBudgetMs float64
+	// MaxReductionFrac caps the per-pool efficiency savings; the paper
+	// treats 33% as the practical per-pool limit (headroom must survive
+	// single-DC failures).
+	MaxReductionFrac float64
+}
+
+func (c SavingsConfig) withDefaults() SavingsConfig {
+	if c.LatencyBudgetMs <= 0 {
+		c.LatencyBudgetMs = 5
+	}
+	if c.MaxReductionFrac <= 0 {
+		c.MaxReductionFrac = 1.0 / 3
+	}
+	return c
+}
+
+// PoolObservation is one pool's data for the savings analysis: its history
+// in one datacenter plus availability across the fleet.
+type PoolObservation struct {
+	Pool string
+	// Series is the pool's aggregate history (any representative DC).
+	Series []metrics.TickStat
+	// Servers is the nominal server count across all datacenters.
+	Servers int
+	// Availability is the pool's mean server availability in [0, 1].
+	Availability float64
+}
+
+// SummarizeSavings computes a Table IV row per pool: fit the workload
+// models, find the largest reduction whose forecast latency stays within
+// the budget above the current p95 operating point, and add the savings
+// from lifting availability to best practice.
+func SummarizeSavings(obs []PoolObservation, cfg SavingsConfig) ([]SavingsRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]SavingsRow, 0, len(obs))
+	for _, o := range obs {
+		if o.Servers <= 0 {
+			return nil, fmt.Errorf("optimize: pool %s has %d servers", o.Pool, o.Servers)
+		}
+		model, err := FitPoolModel(o.Series)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: pool %s: %w", o.Pool, err)
+		}
+		// Reference operating point: p95 of per-server load and the
+		// latency there.
+		var loads, totals []float64
+		for _, t := range o.Series {
+			if t.Servers == 0 {
+				continue
+			}
+			loads = append(loads, t.RPSPerServer)
+			totals = append(totals, t.TotalRPS)
+		}
+		refLoad := stats.Percentile(loads, 95)
+		refTotal := stats.Percentile(totals, 95)
+		baseLat := model.Latency.Predict(refLoad)
+		qosLimit := baseLat + cfg.LatencyBudgetMs
+
+		// Effective current server count at the p95 point (the series may
+		// span maintenance dips); derive from total/perserver.
+		current := int(refTotal/refLoad + 0.5)
+		if current <= 0 {
+			current = 1
+		}
+		minServers, frac, err := model.MaxReduction(refTotal, current, qosLimit)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: pool %s: %w", o.Pool, err)
+		}
+		if frac > cfg.MaxReductionFrac {
+			frac = cfg.MaxReductionFrac
+			minServers = int(float64(current)*(1-frac) + 0.5)
+		}
+		fc, err := model.ForecastReduction(refTotal, current, minServers)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: pool %s: %w", o.Pool, err)
+		}
+		latImpact := fc.LatencyMs - baseLat
+		if latImpact < 0 {
+			latImpact = 0
+		}
+
+		online := 0.0
+		if o.Availability > 0 && o.Availability < BestPracticeAvailability {
+			// A pool at availability a needs 1/a the capacity a pool at
+			// best practice needs; the difference is recoverable.
+			online = 1 - o.Availability/BestPracticeAvailability
+		}
+		row := SavingsRow{
+			Pool:              o.Pool,
+			EfficiencySavings: frac,
+			LatencyImpactMs:   latImpact,
+			OnlineSavings:     online,
+			Servers:           o.Servers,
+		}
+		// Savings compose: first remove headroom, then recover the
+		// availability tax on what remains.
+		row.TotalSavings = 1 - (1-row.EfficiencySavings)*(1-row.OnlineSavings)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WeightedTotals returns the server-weighted mean efficiency, online and
+// total savings plus the mean latency impact — the summary line of
+// Table IV.
+func WeightedTotals(rows []SavingsRow) (efficiency, latencyMs, online, total float64, err error) {
+	if len(rows) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("optimize: no savings rows")
+	}
+	var wsum float64
+	for _, r := range rows {
+		w := float64(r.Servers)
+		wsum += w
+		efficiency += w * r.EfficiencySavings
+		online += w * r.OnlineSavings
+		total += w * r.TotalSavings
+		latencyMs += r.LatencyImpactMs
+	}
+	if wsum == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("optimize: zero total servers")
+	}
+	return efficiency / wsum, latencyMs / float64(len(rows)), online / wsum, total / wsum, nil
+}

@@ -1,0 +1,206 @@
+// Package slo models Quality-of-Service requirements the way the paper
+// defines them (§II): each micro-service's QoS is a set of Service Level
+// Objectives, each a specific metric with a minimum threshold — e.g.
+// "response latency must be less than 500 ms, and reliability must be
+// 99.999%". Capacity planners combine these with workload trends and
+// expected failure rates to decide how many servers a pool needs.
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"headroom/internal/metrics"
+	"headroom/internal/stats"
+)
+
+// Kind is the metric an objective constrains.
+type Kind int
+
+const (
+	// LatencyPercentile constrains a latency percentile (ms) to stay at or
+	// below Threshold.
+	LatencyPercentile Kind = iota + 1
+	// Availability constrains the fraction of windows served to stay at or
+	// above Threshold.
+	Availability
+	// ErrorRate constrains mean errors per window to stay at or below
+	// Threshold.
+	ErrorRate
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case LatencyPercentile:
+		return "latency-percentile"
+	case Availability:
+		return "availability"
+	case ErrorRate:
+		return "error-rate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Objective is one SLO.
+type Objective struct {
+	// Name labels the objective in reports ("p95 latency", "availability").
+	Name string
+	// Kind selects the constrained metric.
+	Kind Kind
+	// Percentile applies to LatencyPercentile objectives (e.g. 95).
+	Percentile float64
+	// Threshold is the bound: an upper bound for latency and error rate, a
+	// lower bound for availability.
+	Threshold float64
+}
+
+// Validate checks the objective is well formed.
+func (o Objective) Validate() error {
+	switch o.Kind {
+	case LatencyPercentile:
+		if o.Percentile <= 0 || o.Percentile >= 100 {
+			return fmt.Errorf("slo %q: percentile %v outside (0, 100)", o.Name, o.Percentile)
+		}
+		if o.Threshold <= 0 {
+			return fmt.Errorf("slo %q: non-positive latency threshold %v", o.Name, o.Threshold)
+		}
+	case Availability:
+		if o.Threshold <= 0 || o.Threshold > 1 {
+			return fmt.Errorf("slo %q: availability threshold %v outside (0, 1]", o.Name, o.Threshold)
+		}
+	case ErrorRate:
+		if o.Threshold < 0 {
+			return fmt.Errorf("slo %q: negative error-rate threshold %v", o.Name, o.Threshold)
+		}
+	default:
+		return fmt.Errorf("slo %q: unknown kind %v", o.Name, o.Kind)
+	}
+	return nil
+}
+
+// Set is a micro-service's full QoS requirement.
+type Set struct {
+	// Service names the micro-service the requirement belongs to.
+	Service    string
+	Objectives []Objective
+}
+
+// Validate checks every objective.
+func (s Set) Validate() error {
+	if len(s.Objectives) == 0 {
+		return errors.New("slo: empty objective set")
+	}
+	seen := make(map[string]bool, len(s.Objectives))
+	for _, o := range s.Objectives {
+		if err := o.Validate(); err != nil {
+			return err
+		}
+		if seen[o.Name] {
+			return fmt.Errorf("slo: duplicate objective %q", o.Name)
+		}
+		seen[o.Name] = true
+	}
+	return nil
+}
+
+// Evaluation is the outcome of checking one objective against observations.
+type Evaluation struct {
+	Objective Objective
+	// Observed is the measured value of the constrained metric.
+	Observed float64
+	// Met reports whether the objective held.
+	Met bool
+	// Margin is the distance to the threshold in the objective's units;
+	// positive means headroom remains, negative means violation depth.
+	Margin float64
+}
+
+// Report is the evaluation of a full SLO set.
+type Report struct {
+	Service     string
+	Evaluations []Evaluation
+	// Met is true when every objective held.
+	Met bool
+}
+
+// String renders the report as one line per objective.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slo report for %s (met=%v)\n", r.Service, r.Met)
+	for _, e := range r.Evaluations {
+		state := "OK"
+		if !e.Met {
+			state = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "  %-20s observed %.4g threshold %.4g margin %+.4g  %s\n",
+			e.Objective.Name, e.Observed, e.Objective.Threshold, e.Margin, state)
+	}
+	return b.String()
+}
+
+// Evaluate checks the SLO set against a pool's observation series and the
+// availability of its servers.
+//
+// Latency objectives are evaluated against the distribution of per-window
+// pool p95 latencies (the paper's "average 95th percentile" chart quantity);
+// availability objectives against meanAvailability; error objectives against
+// the mean per-window error count.
+func Evaluate(set Set, series []metrics.TickStat, meanAvailability float64) (Report, error) {
+	if err := set.Validate(); err != nil {
+		return Report{}, err
+	}
+	if len(series) == 0 {
+		return Report{}, errors.New("slo: no observations")
+	}
+	var lat, errs []float64
+	for _, t := range series {
+		if t.Servers == 0 {
+			continue
+		}
+		lat = append(lat, t.LatencyMean)
+		errs = append(errs, t.Errors)
+	}
+	if len(lat) == 0 {
+		return Report{}, errors.New("slo: no online observations")
+	}
+	rep := Report{Service: set.Service, Met: true}
+	for _, o := range set.Objectives {
+		var ev Evaluation
+		ev.Objective = o
+		switch o.Kind {
+		case LatencyPercentile:
+			ev.Observed = stats.Percentile(lat, o.Percentile)
+			ev.Met = ev.Observed <= o.Threshold
+			ev.Margin = o.Threshold - ev.Observed
+		case Availability:
+			ev.Observed = meanAvailability
+			ev.Met = ev.Observed >= o.Threshold
+			ev.Margin = ev.Observed - o.Threshold
+		case ErrorRate:
+			ev.Observed = stats.Mean(errs)
+			ev.Met = ev.Observed <= o.Threshold
+			ev.Margin = o.Threshold - ev.Observed
+		}
+		if !ev.Met {
+			rep.Met = false
+		}
+		rep.Evaluations = append(rep.Evaluations, ev)
+	}
+	return rep, nil
+}
+
+// Typical returns the SLO set the paper describes as typical for large
+// online services: a p95 latency bound plus 99.95%-99.999% availability.
+func Typical(service string, latencyMs float64) Set {
+	return Set{
+		Service: service,
+		Objectives: []Objective{
+			{Name: "p95 latency", Kind: LatencyPercentile, Percentile: 95, Threshold: latencyMs},
+			{Name: "availability", Kind: Availability, Threshold: 0.9995},
+			{Name: "error rate", Kind: ErrorRate, Threshold: 1},
+		},
+	}
+}

@@ -1,0 +1,146 @@
+package slo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"headroom/internal/metrics"
+)
+
+func series(n int, latMean, errMean float64, seed int64) []metrics.TickStat {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]metrics.TickStat, n)
+	for i := range out {
+		out[i] = metrics.TickStat{
+			Tick: i, Servers: 10,
+			LatencyMean: latMean + rng.NormFloat64(),
+			Errors:      errMean,
+		}
+	}
+	return out
+}
+
+func TestObjectiveValidate(t *testing.T) {
+	bad := []Objective{
+		{Name: "p", Kind: LatencyPercentile, Percentile: 0, Threshold: 10},
+		{Name: "p", Kind: LatencyPercentile, Percentile: 100, Threshold: 10},
+		{Name: "p", Kind: LatencyPercentile, Percentile: 95, Threshold: 0},
+		{Name: "a", Kind: Availability, Threshold: 0},
+		{Name: "a", Kind: Availability, Threshold: 1.5},
+		{Name: "e", Kind: ErrorRate, Threshold: -1},
+		{Name: "k", Kind: Kind(99), Threshold: 1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", o)
+		}
+	}
+	good := Objective{Name: "p95", Kind: LatencyPercentile, Percentile: 95, Threshold: 40}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid objective rejected: %v", err)
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	if err := (Set{Service: "B"}).Validate(); err == nil {
+		t.Error("empty set should error")
+	}
+	dup := Set{Service: "B", Objectives: []Objective{
+		{Name: "x", Kind: ErrorRate, Threshold: 1},
+		{Name: "x", Kind: ErrorRate, Threshold: 2},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate names should error")
+	}
+	if err := Typical("B", 40).Validate(); err != nil {
+		t.Errorf("Typical set invalid: %v", err)
+	}
+}
+
+func TestEvaluateAllMet(t *testing.T) {
+	set := Typical("B", 40)
+	rep, err := Evaluate(set, series(200, 31, 0.1, 1), 0.9996)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !rep.Met {
+		t.Errorf("all objectives should hold: %s", rep)
+	}
+	if len(rep.Evaluations) != 3 {
+		t.Fatalf("evaluations = %d, want 3", len(rep.Evaluations))
+	}
+	for _, e := range rep.Evaluations {
+		if !e.Met || e.Margin <= 0 {
+			t.Errorf("objective %s: met=%v margin=%v", e.Objective.Name, e.Met, e.Margin)
+		}
+	}
+}
+
+func TestEvaluateLatencyViolation(t *testing.T) {
+	set := Typical("B", 30)
+	rep, err := Evaluate(set, series(200, 33, 0.1, 2), 0.9996)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.Met {
+		t.Error("latency objective should be violated")
+	}
+	var found bool
+	for _, e := range rep.Evaluations {
+		if e.Objective.Kind == LatencyPercentile {
+			found = true
+			if e.Met || e.Margin >= 0 {
+				t.Errorf("latency evaluation = %+v, want violated with negative margin", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("latency objective missing from report")
+	}
+	if !strings.Contains(rep.String(), "VIOLATED") {
+		t.Errorf("report should mark violations: %s", rep)
+	}
+}
+
+func TestEvaluateAvailabilityViolation(t *testing.T) {
+	set := Set{Service: "C", Objectives: []Objective{
+		{Name: "availability", Kind: Availability, Threshold: 0.98},
+	}}
+	rep, err := Evaluate(set, series(50, 20, 0, 3), 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Met {
+		t.Error("90% availability should violate a 98% objective")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	set := Typical("B", 40)
+	if _, err := Evaluate(set, nil, 1); err == nil {
+		t.Error("no observations should error")
+	}
+	offline := []metrics.TickStat{{Tick: 0, Servers: 0}}
+	if _, err := Evaluate(set, offline, 1); err == nil {
+		t.Error("all-offline series should error")
+	}
+	if _, err := Evaluate(Set{Service: "x"}, series(10, 1, 0, 4), 1); err == nil {
+		t.Error("invalid set should error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if LatencyPercentile.String() != "latency-percentile" {
+		t.Error("LatencyPercentile string")
+	}
+	if Availability.String() != "availability" {
+		t.Error("Availability string")
+	}
+	if ErrorRate.String() != "error-rate" {
+		t.Error("ErrorRate string")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind should include the number")
+	}
+}

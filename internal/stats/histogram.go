@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bin is one histogram bucket over [Lo, Hi) (the last bin is inclusive of
+// its upper edge).
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram is a fixed-width histogram over a closed range.
+type Histogram struct {
+	Bins  []Bin
+	Total int
+}
+
+// NewHistogram builds a histogram of xs with n equal-width bins spanning
+// [lo, hi]. Values outside the range are clamped into the edge bins, which
+// matches how the paper buckets CPU utilisation (0..100%).
+func NewHistogram(xs []float64, n int, lo, hi float64) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("histogram: non-positive bin count %d", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("histogram: empty range [%v, %v]", lo, hi)
+	}
+	h := &Histogram{Bins: make([]Bin, n)}
+	w := (hi - lo) / float64(n)
+	for i := range h.Bins {
+		h.Bins[i].Lo = lo + float64(i)*w
+		h.Bins[i].Hi = lo + float64(i+1)*w
+	}
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		h.Bins[i].Count++
+		h.Total++
+	}
+	return h, nil
+}
+
+// Fractions returns each bin's share of the total count. An empty histogram
+// yields all zeros.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Bins))
+	if h.Total == 0 {
+		return out
+	}
+	for i, b := range h.Bins {
+		out[i] = float64(b.Count) / float64(h.Total)
+	}
+	return out
+}
+
+// FractionAbove returns the share of observations in bins whose lower edge
+// is >= x.
+func (h *Histogram) FractionAbove(x float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var c int
+	for _, b := range h.Bins {
+		if b.Lo >= x {
+			c += b.Count
+		}
+	}
+	return float64(c) / float64(h.Total)
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from xs. The input is copied.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("ecdf: %w", ErrEmptyInput)
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest value v with At(v) >= q, for q in (0, 1].
+func (e *ECDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}
+
+// Len returns the number of observations backing the ECDF.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// CDFPoint is one (x, cumulative fraction) point of a sampled CDF curve,
+// used to render the paper's Figure 12-style charts.
+type CDFPoint struct {
+	X    float64
+	Frac float64
+}
+
+// SampleCDF evaluates the ECDF at n evenly spaced points across the data
+// range, returning a plot-ready curve.
+func (e *ECDF) SampleCDF(n int) []CDFPoint {
+	if n < 2 {
+		n = 2
+	}
+	lo, hi := e.sorted[0], e.sorted[len(e.sorted)-1]
+	out := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = CDFPoint{X: x, Frac: e.At(x)}
+	}
+	return out
+}

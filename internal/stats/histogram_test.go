@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramBasics(t *testing.T) {
+	xs := []float64{0, 10, 20, 30, 99, 100, 150, -5}
+	h, err := NewHistogram(xs, 10, 0, 100)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if h.Total != len(xs) {
+		t.Errorf("Total = %d, want %d", h.Total, len(xs))
+	}
+	// -5 clamps into bin 0; 150 and 100 clamp into bin 9.
+	if h.Bins[0].Count != 2 { // 0 and -5
+		t.Errorf("bin 0 count = %d, want 2", h.Bins[0].Count)
+	}
+	if h.Bins[9].Count != 3 { // 99, 100, 150
+		t.Errorf("bin 9 count = %d, want 3", h.Bins[9].Count)
+	}
+	var sum int
+	for _, b := range h.Bins {
+		sum += b.Count
+	}
+	if sum != h.Total {
+		t.Errorf("bin counts sum %d != total %d", sum, h.Total)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 0, 1); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(nil, 5, 1, 1); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	xs := []float64{5, 15, 15, 25}
+	h, err := NewHistogram(xs, 3, 0, 30)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	fr := h.Fractions()
+	want := []float64{0.25, 0.5, 0.25}
+	for i := range want {
+		if !almostEqual(fr[i], want[i], 1e-12) {
+			t.Errorf("fraction[%d] = %v, want %v", i, fr[i], want[i])
+		}
+	}
+	if got := h.FractionAbove(10); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("FractionAbove(10) = %v, want 0.75", got)
+	}
+	empty, _ := NewHistogram(nil, 3, 0, 30)
+	if got := empty.FractionAbove(0); got != 0 {
+		t.Errorf("empty FractionAbove = %v, want 0", got)
+	}
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Error("empty Fractions should be zero")
+		}
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d, want 4", e.Len())
+	}
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("empty ECDF should error")
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e, err := NewECDF([]float64{10, 20, 30, 40, 50})
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.2, 10}, {0.21, 20}, {0.5, 30}, {1, 50}, {2, 50}, {-1, 10},
+	}
+	for _, tt := range tests {
+		if got := e.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestSampleCDFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	e, err := NewECDF(xs)
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	curve := e.SampleCDF(50)
+	if len(curve) != 50 {
+		t.Fatalf("len = %d, want 50", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Frac < curve[i-1].Frac {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+		if curve[i].X <= curve[i-1].X {
+			t.Fatalf("xs not increasing at %d", i)
+		}
+	}
+	if curve[len(curve)-1].Frac != 1 {
+		t.Errorf("last CDF value = %v, want 1", curve[len(curve)-1].Frac)
+	}
+	// SampleCDF with n < 2 clamps to 2 points.
+	if got := e.SampleCDF(1); len(got) != 2 {
+		t.Errorf("SampleCDF(1) len = %d, want 2", len(got))
+	}
+}
+
+// Property: ECDF.At is monotone and bounded in [0, 1], and
+// At(Quantile(q)) >= q.
+func TestECDFProperties(t *testing.T) {
+	f := func(raw []float64, q8 uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		q := float64(q8) / 255
+		v := e.Quantile(q)
+		return e.At(v) >= q-1e-12 && e.At(v) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fold is one train/test split of indices into a dataset.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold partitions n indices into k folds after a seeded shuffle, returning
+// one Fold per held-out partition. Fold sizes differ by at most one. The
+// paper trains its server-grouping decision tree with 5-fold cross
+// validation.
+func KFold(n, k int, seed int64) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("kfold: need k >= 2, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("kfold: need n >= k, got n=%d k=%d", n, k)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+	folds := make([]Fold, k)
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	for f := 0; f < k; f++ {
+		test := idx[bounds[f]:bounds[f+1]]
+		train := make([]int, 0, n-len(test))
+		train = append(train, idx[:bounds[f]]...)
+		train = append(train, idx[bounds[f+1]:]...)
+		tcopy := make([]int, len(test))
+		copy(tcopy, test)
+		folds[f] = Fold{Train: train, Test: tcopy}
+	}
+	return folds, nil
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Perfectly monotone but non-linear: Spearman 1, Pearson < 1.
+	xs := seq(1, 50)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x * x
+	}
+	rs, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatalf("Spearman: %v", err)
+	}
+	if !almostEqual(rs, 1, 1e-12) {
+		t.Errorf("Spearman = %v, want 1", rs)
+	}
+	rp, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp >= 1-1e-9 {
+		t.Errorf("Pearson = %v, expected < 1 for cubic", rp)
+	}
+}
+
+func TestSpearmanInverseAndErrors(t *testing.T) {
+	xs := seq(1, 20)
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = -xs[i]
+	}
+	rs, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rs, -1, 1e-12) {
+		t.Errorf("Spearman = %v, want -1", rs)
+	}
+	if _, err := Spearman(xs, ys[:3]); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := Spearman(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 3, 3}
+	ys := []float64{1, 1, 2, 2, 3, 3}
+	rs, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rs, 1, 1e-12) {
+		t.Errorf("tied identical ranks = %v, want 1", rs)
+	}
+}
+
+func TestTheilSenCleanLine(t *testing.T) {
+	xs := seq(0, 40)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.028*x + 1.37
+	}
+	fit, err := TheilSen(xs, ys)
+	if err != nil {
+		t.Fatalf("TheilSen: %v", err)
+	}
+	if !almostEqual(fit.Slope, 0.028, 1e-9) || !almostEqual(fit.Intercept, 1.37, 1e-9) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if fit.R2 < 1-1e-9 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestTheilSenOutlierResistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := seq(0, 99)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*x + 5 + 0.2*rng.NormFloat64()
+	}
+	// 25% gross outliers.
+	for i := 0; i < 25; i++ {
+		ys[rng.Intn(len(ys))] += 200
+	}
+	robust, err := TheilSen(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ols, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust.Slope-2) > 0.05 {
+		t.Errorf("Theil-Sen slope = %v, want ~2", robust.Slope)
+	}
+	if math.Abs(robust.Slope-2) >= math.Abs(ols.Slope-2) {
+		t.Errorf("Theil-Sen (%v) should beat OLS (%v) under outliers", robust.Slope, ols.Slope)
+	}
+}
+
+func TestTheilSenErrors(t *testing.T) {
+	if _, err := TheilSen([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := TheilSen([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := TheilSen([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x-variance should error")
+	}
+}
+
+func TestMAD(t *testing.T) {
+	if got := MAD([]float64{1, 2, 3, 4, 5}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if got := MAD([]float64{7, 7, 7}); got != 0 {
+		t.Errorf("constant MAD = %v, want 0", got)
+	}
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("empty MAD should be NaN")
+	}
+	// Robustness: one huge outlier barely moves it.
+	clean := MAD(seq(1, 101))
+	dirty := MAD(append(seq(1, 100), 1e9))
+	if math.Abs(clean-dirty) > 1.0 {
+		t.Errorf("MAD moved from %v to %v under one outlier", clean, dirty)
+	}
+}
+
+func TestWinsorizedMean(t *testing.T) {
+	xs := append(seq(1, 99), 1e6) // one wild spike
+	plain := Mean(xs)
+	w, err := WinsorizedMean(xs, 0.05)
+	if err != nil {
+		t.Fatalf("WinsorizedMean: %v", err)
+	}
+	if w >= plain {
+		t.Errorf("winsorized %v should be below contaminated mean %v", w, plain)
+	}
+	if w < 45 || w > 60 {
+		t.Errorf("winsorized mean = %v, want ~50", w)
+	}
+	// frac 0 is the plain mean.
+	w0, err := WinsorizedMean(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(w0, plain, 1e-6) {
+		t.Errorf("frac-0 winsorized = %v, want %v", w0, plain)
+	}
+	if _, err := WinsorizedMean(nil, 0.1); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := WinsorizedMean(xs, 0.5); err == nil {
+		t.Error("frac >= 0.5 should error")
+	}
+}

@@ -1,0 +1,199 @@
+// Package synth implements Step 3 of the capacity-planning methodology
+// (§II-C of the paper): building a reproducible synthetic workload whose
+// QoS and resource-usage response matches production, so that changes can be
+// validated offline before deployment.
+//
+// A synthetic workload is only trustworthy once verified: for the same
+// volume of synthetic workload the offline pool must show the same QoS and
+// resource usage as production. Without matching the request mix and
+// dependency-response distribution, one could detect THAT a change shifted
+// capacity or latency but not accurately measure BY HOW MUCH.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"headroom/internal/metrics"
+	"headroom/internal/sim"
+	"headroom/internal/stats"
+	"headroom/internal/trace"
+	"headroom/internal/workload"
+)
+
+// Profile is a reproducible synthetic workload derived from production
+// observations: an offered-load sweep and the production request mix.
+type Profile struct {
+	// Offered is the total pool RPS per tick to replay.
+	Offered []float64
+	// Servers is the offline pool size the profile was built for.
+	Servers int
+	// Mix is the production request mix the replay must reproduce.
+	Mix workload.Mix
+}
+
+// BuildProfile derives a synthetic workload from production pool history:
+// a load sweep covering the observed per-server range (plus optional
+// extension for stress testing) at a controlled offline pool size.
+//
+// levels is the number of load steps; extendFrac stretches the sweep beyond
+// the observed p99 load (0.25 = +25%), giving the "small workload increments
+// over time to obtain a broad set of data" of §II-D.
+func BuildProfile(series []metrics.TickStat, mix workload.Mix, servers, levels int, extendFrac float64) (Profile, error) {
+	if servers <= 0 {
+		return Profile{}, fmt.Errorf("synth: non-positive server count %d", servers)
+	}
+	if levels < 2 {
+		return Profile{}, fmt.Errorf("synth: need >= 2 load levels, got %d", levels)
+	}
+	if extendFrac < 0 {
+		return Profile{}, fmt.Errorf("synth: negative extension %v", extendFrac)
+	}
+	if err := mix.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("synth: %w", err)
+	}
+	var perServer []float64
+	for _, t := range series {
+		if t.Servers > 0 {
+			perServer = append(perServer, t.RPSPerServer)
+		}
+	}
+	if len(perServer) < 2 {
+		return Profile{}, errors.New("synth: not enough production windows")
+	}
+	lo := stats.Percentile(perServer, 1)
+	hi := stats.Percentile(perServer, 99) * (1 + extendFrac)
+	if hi <= lo {
+		return Profile{}, fmt.Errorf("synth: degenerate load range [%v, %v]", lo, hi)
+	}
+	offered := make([]float64, levels)
+	for i := range offered {
+		frac := float64(i) / float64(levels-1)
+		offered[i] = (lo + (hi-lo)*frac) * float64(servers)
+	}
+	return Profile{Offered: offered, Servers: servers, Mix: mix}, nil
+}
+
+// Replay drives an offline pool with the synthetic workload, returning the
+// trace records. ticksPerLevel repeats each load step to accumulate
+// statistics.
+func Replay(pc sim.PoolConfig, p Profile, ticksPerLevel int, seed int64) ([]trace.Record, error) {
+	if ticksPerLevel <= 0 {
+		return nil, fmt.Errorf("synth: non-positive ticks per level %d", ticksPerLevel)
+	}
+	if len(p.Offered) == 0 {
+		return nil, errors.New("synth: empty profile")
+	}
+	series := make([]float64, 0, len(p.Offered)*ticksPerLevel)
+	for _, load := range p.Offered {
+		for r := 0; r < ticksPerLevel; r++ {
+			series = append(series, load)
+		}
+	}
+	return sim.SimulatePool(pc, "offline", series, p.Servers, seed)
+}
+
+// Equivalence reports whether the synthetic response matches production —
+// the verification gate of §II-C.
+type Equivalence struct {
+	// CPUSlopeRelErr is |synthetic slope - production slope| / production.
+	CPUSlopeRelErr float64
+	// CPUAtRefAbsErr is the CPU gap (percentage points) at the reference
+	// per-server load.
+	CPUAtRefAbsErr float64
+	// LatencyAtRefAbsErr is the latency gap (ms) at the reference load.
+	LatencyAtRefAbsErr float64
+	// MixDistance is the total-variation distance between production and
+	// replayed request mixes.
+	MixDistance float64
+	// RefRPSPerServer is the per-server load the point checks used.
+	RefRPSPerServer float64
+	// Equivalent is true when all gaps are within tolerance.
+	Equivalent bool
+}
+
+// Tolerance bounds the acceptable production↔synthetic gaps.
+type Tolerance struct {
+	CPUSlopeRel  float64 // default 0.10
+	CPUAbs       float64 // default 1.5 percentage points
+	LatencyAbsMs float64 // default 2 ms
+	MixTV        float64 // default 0.05
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	if t.CPUSlopeRel <= 0 {
+		t.CPUSlopeRel = 0.10
+	}
+	if t.CPUAbs <= 0 {
+		t.CPUAbs = 1.5
+	}
+	if t.LatencyAbsMs <= 0 {
+		t.LatencyAbsMs = 2
+	}
+	if t.MixTV <= 0 {
+		t.MixTV = 0.05
+	}
+	return t
+}
+
+// Verify compares production and synthetic pool aggregates. replayMix is
+// the mix actually replayed (usually the profile's); pass the production mix
+// to assert distributional fidelity.
+func Verify(prod, synthSeries []metrics.TickStat, prodMix, replayMix workload.Mix, tol Tolerance) (Equivalence, error) {
+	tol = tol.withDefaults()
+	fitOf := func(series []metrics.TickStat, what string) (stats.LinearFit, stats.Polynomial, error) {
+		var xs, cpu, lat []float64
+		for _, t := range series {
+			if t.Servers == 0 {
+				continue
+			}
+			xs = append(xs, t.RPSPerServer)
+			cpu = append(cpu, t.CPUMean)
+			lat = append(lat, t.LatencyMean)
+		}
+		cf, err := stats.LinearRegression(xs, cpu)
+		if err != nil {
+			return stats.LinearFit{}, stats.Polynomial{}, fmt.Errorf("synth: %s cpu fit: %w", what, err)
+		}
+		lf, err := stats.PolyFit(xs, lat, 2)
+		if err != nil {
+			return stats.LinearFit{}, stats.Polynomial{}, fmt.Errorf("synth: %s latency fit: %w", what, err)
+		}
+		return cf, lf, nil
+	}
+	pc, pl, err := fitOf(prod, "production")
+	if err != nil {
+		return Equivalence{}, err
+	}
+	sc, sl, err := fitOf(synthSeries, "synthetic")
+	if err != nil {
+		return Equivalence{}, err
+	}
+	var prodLoads []float64
+	for _, t := range prod {
+		if t.Servers > 0 {
+			prodLoads = append(prodLoads, t.RPSPerServer)
+		}
+	}
+	ref := stats.Percentile(prodLoads, 75)
+
+	eq := Equivalence{RefRPSPerServer: ref}
+	if pc.Slope != 0 {
+		eq.CPUSlopeRelErr = math.Abs(sc.Slope-pc.Slope) / math.Abs(pc.Slope)
+	} else {
+		eq.CPUSlopeRelErr = math.Abs(sc.Slope - pc.Slope)
+	}
+	eq.CPUAtRefAbsErr = math.Abs(sc.Predict(ref) - pc.Predict(ref))
+	eq.LatencyAtRefAbsErr = math.Abs(sl.Predict(ref) - pl.Predict(ref))
+	d, err := workload.Distance(prodMix, replayMix)
+	if err != nil {
+		return Equivalence{}, fmt.Errorf("synth: %w", err)
+	}
+	eq.MixDistance = d
+	eq.Equivalent = eq.CPUSlopeRelErr <= tol.CPUSlopeRel &&
+		eq.CPUAtRefAbsErr <= tol.CPUAbs &&
+		eq.LatencyAtRefAbsErr <= tol.LatencyAbsMs &&
+		eq.MixDistance <= tol.MixTV
+	return eq, nil
+}

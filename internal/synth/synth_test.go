@@ -1,0 +1,194 @@
+package synth
+
+import (
+	"testing"
+
+	"headroom/internal/metrics"
+	"headroom/internal/sim"
+	"headroom/internal/trace"
+	"headroom/internal/workload"
+)
+
+// productionTrace simulates pool B in DC 1 for a day and returns its
+// aggregates.
+func productionTrace(t *testing.T, seed int64) []metrics.TickStat {
+	t.Helper()
+	cfg := sim.FleetConfig{
+		DCs:               workload.NineRegions(),
+		Pools:             []sim.PoolConfig{sim.PoolB()},
+		WorkloadNoiseFrac: 0.03,
+		Seed:              seed,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := metrics.NewAggregator()
+	if err := s.Run(s.TicksPerDay(), func(r trace.Record) error { agg.Add(r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	series, err := agg.PoolSeries("DC 1", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+func TestBuildProfileCoversProductionRange(t *testing.T) {
+	prod := productionTrace(t, 1)
+	mix := sim.PoolB().Mix
+	p, err := BuildProfile(prod, mix, 20, 12, 0.25)
+	if err != nil {
+		t.Fatalf("BuildProfile: %v", err)
+	}
+	if len(p.Offered) != 12 {
+		t.Fatalf("levels = %d, want 12", len(p.Offered))
+	}
+	for i := 1; i < len(p.Offered); i++ {
+		if p.Offered[i] <= p.Offered[i-1] {
+			t.Fatal("offered loads must ascend")
+		}
+	}
+	// The sweep's top level must exceed production's p99 per-server load
+	// (stress extension).
+	var maxProd float64
+	for _, ts := range prod {
+		if ts.RPSPerServer > maxProd {
+			maxProd = ts.RPSPerServer
+		}
+	}
+	topPerServer := p.Offered[len(p.Offered)-1] / float64(p.Servers)
+	if topPerServer < maxProd {
+		t.Errorf("sweep top %v below production max %v", topPerServer, maxProd)
+	}
+}
+
+func TestBuildProfileErrors(t *testing.T) {
+	prod := productionTrace(t, 2)
+	mix := sim.PoolB().Mix
+	if _, err := BuildProfile(prod, mix, 0, 10, 0); err == nil {
+		t.Error("zero servers should error")
+	}
+	if _, err := BuildProfile(prod, mix, 10, 1, 0); err == nil {
+		t.Error("single level should error")
+	}
+	if _, err := BuildProfile(prod, mix, 10, 10, -1); err == nil {
+		t.Error("negative extension should error")
+	}
+	if _, err := BuildProfile(prod, workload.Mix{}, 10, 10, 0); err == nil {
+		t.Error("invalid mix should error")
+	}
+	if _, err := BuildProfile(nil, mix, 10, 10, 0); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestReplayAndVerifyEquivalence(t *testing.T) {
+	// The synthetic replay of the SAME pool must verify as equivalent —
+	// this is the §II-C gate that establishes the offline baseline.
+	prod := productionTrace(t, 3)
+	pc := sim.PoolB()
+	profile, err := BuildProfile(prod, pc.Mix, 20, 15, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Replay(pc, profile, 25, 4)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	agg := metrics.NewAggregator()
+	agg.AddAll(recs)
+	synthSeries, err := agg.PoolSeries("offline", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Verify(prod, synthSeries, pc.Mix, profile.Mix, Tolerance{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !eq.Equivalent {
+		t.Errorf("same-pool replay should verify: %+v", eq)
+	}
+	if eq.MixDistance != 0 {
+		t.Errorf("mix distance = %v, want 0", eq.MixDistance)
+	}
+}
+
+func TestVerifyDetectsDivergentSystem(t *testing.T) {
+	// Replaying against a pool with a different response model must fail
+	// the equivalence gate.
+	prod := productionTrace(t, 5)
+	pc := sim.PoolB()
+	profile, err := BuildProfile(prod, pc.Mix, 20, 15, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := pc
+	changed.Response.CPUSlope *= 1.5
+	changed.Response.LatQuad[0] += 6
+	recs, err := Replay(changed, profile, 25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := metrics.NewAggregator()
+	agg.AddAll(recs)
+	synthSeries, err := agg.PoolSeries("offline", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Verify(prod, synthSeries, pc.Mix, profile.Mix, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Equivalent {
+		t.Error("divergent system should fail verification")
+	}
+	if eq.CPUSlopeRelErr < 0.3 {
+		t.Errorf("slope error = %v, want ~0.5", eq.CPUSlopeRelErr)
+	}
+	if eq.LatencyAtRefAbsErr < 3 {
+		t.Errorf("latency error = %v, want >= 3", eq.LatencyAtRefAbsErr)
+	}
+}
+
+func TestVerifyDetectsMixDrift(t *testing.T) {
+	prod := productionTrace(t, 7)
+	pc := sim.PoolB()
+	profile, err := BuildProfile(prod, pc.Mix, 20, 15, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Replay(pc, profile, 25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := metrics.NewAggregator()
+	agg.AddAll(recs)
+	synthSeries, err := agg.PoolSeries("offline", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay used a wrong mix (all passthrough): equivalence must fail on
+	// the mix check even though the load response matches.
+	wrongMix := workload.Mix{{Name: "passthrough", Weight: 1, CostFactor: 0.3}}
+	eq, err := Verify(prod, synthSeries, pc.Mix, wrongMix, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Equivalent {
+		t.Error("mix drift should fail verification")
+	}
+	if eq.MixDistance < 0.5 {
+		t.Errorf("mix distance = %v, want large", eq.MixDistance)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	pc := sim.PoolB()
+	if _, err := Replay(pc, Profile{}, 10, 1); err == nil {
+		t.Error("empty profile should error")
+	}
+	if _, err := Replay(pc, Profile{Offered: []float64{1}, Servers: 5}, 0, 1); err == nil {
+		t.Error("zero ticks per level should error")
+	}
+}

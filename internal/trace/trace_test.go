@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			Tick:       i,
+			DC:         "DC 1",
+			Pool:       "B",
+			Server:     "b-0001",
+			Generation: "gen1",
+			Online:     rng.Intn(10) > 0,
+			RPS:        rng.Float64() * 500,
+			CPUPct:     rng.Float64() * 100,
+			LatencyMs:  20 + rng.Float64()*40,
+			NetBytes:   rng.Float64() * 2e7,
+			NetPkts:    rng.Float64() * 2e4,
+			MemPages:   rng.Float64() * 1.5e4,
+			DiskQueue:  rng.Float64() * 4,
+			DiskRead:   rng.Float64() * 4e7,
+			Errors:     float64(rng.Intn(3)),
+		}
+	}
+	return out
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := sampleRecords(50, 1)
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Error("CSV round trip mismatch")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := sampleRecords(50, 2)
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Error("JSONL round trip mismatch")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty stream: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	if err := w.Write(Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Take just the header line.
+	headerLine := strings.SplitN(buf.String(), "\n", 2)[0]
+	got, err := ReadCSV(strings.NewReader(headerLine + "\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records, want 0", len(got))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"bad header", "not,a,header\n"},
+		{"bad tick", strings.Join(Header, ",") + "\nX,DC 1,B,s,g,true,1,2,3,4,5,6,7,8,9\n"},
+		{"bad online", strings.Join(Header, ",") + "\n1,DC 1,B,s,g,maybe,1,2,3,4,5,6,7,8,9\n"},
+		{"bad float", strings.Join(Header, ",") + "\n1,DC 1,B,s,g,true,zz,2,3,4,5,6,7,8,9\n"},
+		{"short row", strings.Join(Header, ",") + "\n1,DC 1,B\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	got, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty stream: got %v, %v", got, err)
+	}
+}
+
+// Property: any record with finite fields survives a CSV round trip.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(tick uint16, online bool, rps, cpu, lat float64) bool {
+		r := Record{
+			Tick: int(tick), DC: "DC 2", Pool: "D", Server: "d-1",
+			Generation: "gen2", Online: online,
+			RPS: clampFinite(rps), CPUPct: clampFinite(cpu), LatencyMs: clampFinite(lat),
+		}
+		var buf bytes.Buffer
+		w := NewCSVWriter(&buf)
+		if err := w.Write(r); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0] == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampFinite(v float64) float64 {
+	if v != v || v > 1e300 || v < -1e300 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,224 @@
+// Package validate implements Step 4 of the capacity-planning methodology
+// (§II-D of the paper): offline regression analysis of changes before they
+// reach production.
+//
+// The harness runs two pools of the same size and hardware — one with the
+// change, one without — under precisely identical synthetic workloads, makes
+// small load increments across a sweep, and compares latency and resource
+// utilisation level by level. This detects not just THAT a change regressed
+// capacity or QoS but the curve describing the change, so capacity plans can
+// be adjusted before deployment (§III-C's memory-leak case study: the fix
+// was confirmed, but it introduced a latency regression under high load that
+// offline analysis caught before rollout).
+package validate
+
+import (
+	"errors"
+	"fmt"
+
+	"headroom/internal/metrics"
+	"headroom/internal/sim"
+	"headroom/internal/stats"
+	"headroom/internal/trace"
+)
+
+// Change is a candidate modification to a micro-service, expressed as a
+// transformation of its response parameters (the offline build with the
+// change applied).
+type Change struct {
+	// Name labels the change in reports.
+	Name string
+	// Apply returns the changed response model.
+	Apply func(sim.ResponseParams) sim.ResponseParams
+}
+
+// Config controls one A/B validation run.
+type Config struct {
+	// Pool is the micro-service under test.
+	Pool sim.PoolConfig
+	// Servers is the size of each of the two offline pools.
+	Servers int
+	// Loads is the per-server load sweep (RPS/server, ascending).
+	Loads []float64
+	// TicksPerLevel is how many windows each load level runs.
+	TicksPerLevel int
+	// LatencyTolMs and CPUTolPct bound the acceptable regression at any
+	// level; defaults 2 ms and 1.5 percentage points.
+	LatencyTolMs float64
+	CPUTolPct    float64
+	// Seed drives both pools deterministically. The two pools use
+	// different derived seeds but identical offered loads, like the
+	// paper's "precisely generate identical workloads to each pool".
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatencyTolMs <= 0 {
+		c.LatencyTolMs = 2
+	}
+	if c.CPUTolPct <= 0 {
+		c.CPUTolPct = 1.5
+	}
+	if c.TicksPerLevel <= 0 {
+		c.TicksPerLevel = 20
+	}
+	return c
+}
+
+// LevelResult compares the two pools at one load level (one column pair of
+// the paper's Figure 16 box plot).
+type LevelResult struct {
+	// LoadRPSPerServer is the per-server offered load.
+	LoadRPSPerServer float64
+	// BaselineLatency and ChangeLatency summarise per-window pool-mean
+	// latency at this level.
+	BaselineLatency stats.Summary
+	ChangeLatency   stats.Summary
+	// BaselineCPU and ChangeCPU are the mean pool CPU percentages.
+	BaselineCPU float64
+	ChangeCPU   float64
+	// BaselineMemPages and ChangeMemPages are mean paging rates (the
+	// memory-leak signal of §III-C).
+	BaselineMemPages float64
+	ChangeMemPages   float64
+}
+
+// Report is the outcome of an offline validation run.
+type Report struct {
+	Change string
+	Levels []LevelResult
+	// LatencyRegression is true when the change's latency exceeds baseline
+	// beyond tolerance at any level; FirstRegressionLoad is the lowest
+	// such load.
+	LatencyRegression   bool
+	FirstRegressionLoad float64
+	// CapacityImpactFrac estimates the relative capacity change from the
+	// CPU slopes (positive = the change needs more servers for the same
+	// load).
+	CapacityImpactFrac float64
+	// MemoryImproved is true when the change reduced paging at every
+	// level (the intended effect of the §III-C fix).
+	MemoryImproved bool
+	// Acceptable is the deployment gate: no latency regression and no
+	// capacity increase beyond 5%.
+	Acceptable bool
+}
+
+// Run executes the A/B comparison.
+func Run(cfg Config, change Change) (Report, error) {
+	cfg = cfg.withDefaults()
+	if change.Apply == nil {
+		return Report{}, errors.New("validate: change with nil Apply")
+	}
+	if cfg.Servers <= 0 {
+		return Report{}, fmt.Errorf("validate: non-positive server count %d", cfg.Servers)
+	}
+	if len(cfg.Loads) < 2 {
+		return Report{}, fmt.Errorf("validate: need >= 2 load levels, got %d", len(cfg.Loads))
+	}
+	for i := 1; i < len(cfg.Loads); i++ {
+		if cfg.Loads[i] <= cfg.Loads[i-1] {
+			return Report{}, errors.New("validate: loads must be ascending")
+		}
+	}
+
+	offered := make([]float64, 0, len(cfg.Loads)*cfg.TicksPerLevel)
+	for _, l := range cfg.Loads {
+		for r := 0; r < cfg.TicksPerLevel; r++ {
+			offered = append(offered, l*float64(cfg.Servers))
+		}
+	}
+
+	baselinePool := cfg.Pool
+	changedPool := cfg.Pool
+	changedPool.Response = change.Apply(cfg.Pool.Response)
+	if err := changedPool.Response.Validate(); err != nil {
+		return Report{}, fmt.Errorf("validate: changed response invalid: %w", err)
+	}
+
+	baseRecs, err := sim.SimulatePool(baselinePool, "offline-a", offered, cfg.Servers, cfg.Seed)
+	if err != nil {
+		return Report{}, fmt.Errorf("validate: baseline run: %w", err)
+	}
+	changeRecs, err := sim.SimulatePool(changedPool, "offline-b", offered, cfg.Servers, cfg.Seed+1)
+	if err != nil {
+		return Report{}, fmt.Errorf("validate: change run: %w", err)
+	}
+
+	baseSeries, err := poolSeries(baseRecs, "offline-a", cfg.Pool.Name)
+	if err != nil {
+		return Report{}, err
+	}
+	changeSeries, err := poolSeries(changeRecs, "offline-b", cfg.Pool.Name)
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := Report{Change: change.Name, MemoryImproved: true}
+	var baseX, baseCPU, chX, chCPU []float64
+	for li, load := range cfg.Loads {
+		lo, hi := li*cfg.TicksPerLevel, (li+1)*cfg.TicksPerLevel
+		var bLat, cLat []float64
+		var bCPU, cCPU, bMem, cMem float64
+		for _, t := range baseSeries[lo:hi] {
+			bLat = append(bLat, t.LatencyMean)
+			bCPU += t.CPUMean
+			bMem += t.MemPages
+			baseX = append(baseX, t.RPSPerServer)
+			baseCPU = append(baseCPU, t.CPUMean)
+		}
+		for _, t := range changeSeries[lo:hi] {
+			cLat = append(cLat, t.LatencyMean)
+			cCPU += t.CPUMean
+			cMem += t.MemPages
+			chX = append(chX, t.RPSPerServer)
+			chCPU = append(chCPU, t.CPUMean)
+		}
+		n := float64(cfg.TicksPerLevel)
+		lr := LevelResult{
+			LoadRPSPerServer: load,
+			BaselineLatency:  stats.Summarize(bLat),
+			ChangeLatency:    stats.Summarize(cLat),
+			BaselineCPU:      bCPU / n,
+			ChangeCPU:        cCPU / n,
+			BaselineMemPages: bMem / n,
+			ChangeMemPages:   cMem / n,
+		}
+		rep.Levels = append(rep.Levels, lr)
+		if lr.ChangeLatency.Mean-lr.BaselineLatency.Mean > cfg.LatencyTolMs {
+			if !rep.LatencyRegression {
+				rep.FirstRegressionLoad = load
+			}
+			rep.LatencyRegression = true
+		}
+		if lr.ChangeMemPages >= lr.BaselineMemPages {
+			rep.MemoryImproved = false
+		}
+	}
+
+	bFit, err := stats.LinearRegression(baseX, baseCPU)
+	if err != nil {
+		return Report{}, fmt.Errorf("validate: baseline cpu fit: %w", err)
+	}
+	cFit, err := stats.LinearRegression(chX, chCPU)
+	if err != nil {
+		return Report{}, fmt.Errorf("validate: change cpu fit: %w", err)
+	}
+	if bFit.Slope != 0 {
+		rep.CapacityImpactFrac = cFit.Slope/bFit.Slope - 1
+	}
+	rep.Acceptable = !rep.LatencyRegression && rep.CapacityImpactFrac <= 0.05
+	return rep, nil
+}
+
+// poolSeries aggregates raw records into per-tick pool stats, in tick
+// order.
+func poolSeries(recs []trace.Record, dc, pool string) ([]metrics.TickStat, error) {
+	agg := metrics.NewAggregator()
+	agg.AddAll(recs)
+	series, err := agg.PoolSeries(dc, pool)
+	if err != nil {
+		return nil, fmt.Errorf("validate: %w", err)
+	}
+	return series, nil
+}
