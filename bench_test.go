@@ -8,6 +8,7 @@
 package headroom_test
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"headroom/internal/sim"
 	"headroom/internal/stats"
 	"headroom/internal/trace"
+	"headroom/internal/workload"
 )
 
 // benchExperiment runs a registered experiment per iteration and reports a
@@ -29,10 +31,11 @@ func benchExperiment(b *testing.B, id, metric string) {
 		b.Fatalf("ByID(%s): %v", id, err)
 	}
 	cfg := experiments.Config{Seed: 1, Fast: true}
+	ctx := context.Background()
 	b.ResetTimer()
 	var res *experiments.Result
 	for i := 0; i < b.N; i++ {
-		res, err = exp.Run(cfg)
+		res, err = exp.Run(ctx, cfg)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
@@ -104,6 +107,36 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	_ = sink
 }
+
+// benchSimulate aggregates half a day of the default fleet (~200K records)
+// through Session.Simulate at the given shard count (0 = one per CPU).
+func benchSimulate(b *testing.B, shards int) {
+	b.Helper()
+	ctx := context.Background()
+	cfg := sim.DefaultFleet(1)
+	cfg.Tick = 2 * workload.TickDuration // half a day of windows per op
+	s, err := headroom.New(ctx, headroom.WithFleet(cfg), headroom.WithShards(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := s.Simulate(ctx, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(agg.Pools())), "poolDCs/op")
+	}
+}
+
+// BenchmarkSimulateSequential is the single-threaded simulate+aggregate
+// baseline.
+func BenchmarkSimulateSequential(b *testing.B) { benchSimulate(b, 1) }
+
+// BenchmarkSimulateSharded runs the same fleet sharded per pool across all
+// CPUs; the aggregate is bit-identical to the sequential pass (see
+// TestSessionShardedIdentical).
+func BenchmarkSimulateSharded(b *testing.B) { benchSimulate(b, 0) }
 
 // BenchmarkPlanPipeline measures the full Steps 1-2 pipeline over a day of
 // pool B observations.

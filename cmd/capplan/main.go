@@ -7,32 +7,39 @@
 //
 //	capsim -days 2 -pools B,D -out bd.csv
 //	capplan -in bd.csv -budget 5
+//
+// The trace is replayed through the same Source interface the simulator
+// streams through, so the planner is agnostic to where records came from.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"headroom"
-	"headroom/internal/metrics"
 	"headroom/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "capplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("capplan", flag.ContinueOnError)
 	var (
 		in     = fs.String("in", "", "input trace file (csv or jsonl by extension)")
 		budget = fs.Float64("budget", 5, "acceptable latency increase in ms")
 		seed   = fs.Int64("seed", 1, "seed for clustering and robust fits")
+		shards = fs.Int("shards", 0, "parallel aggregation shards (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,9 +66,19 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("trace %q is empty", *in)
 	}
 
-	agg := metrics.NewAggregator()
-	agg.AddAll(records)
-	plans, err := headroom.Plan(agg, headroom.PlanConfig{LatencyBudgetMs: *budget, Seed: *seed})
+	s, err := headroom.New(ctx,
+		headroom.WithSource(headroom.NewReplaySource(records)),
+		headroom.WithShards(*shards),
+		headroom.WithPlanConfig(headroom.PlanConfig{LatencyBudgetMs: *budget, Seed: *seed}),
+	)
+	if err != nil {
+		return err
+	}
+	agg, err := s.Aggregate(ctx, nil)
+	if err != nil {
+		return err
+	}
+	plans, err := s.Plan(ctx, agg)
 	if err != nil {
 		return err
 	}

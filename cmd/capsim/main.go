@@ -6,27 +6,32 @@
 //
 //	capsim -days 1 -seed 1 -format csv -out fleet.csv
 //	capsim -days 2 -pools B,D -format jsonl -out bd.jsonl
+//
+// Interrupting the process (Ctrl-C) cancels the simulation mid-stream.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"headroom"
-	"headroom/internal/sim"
 	"headroom/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("capsim", flag.ContinueOnError)
 	var (
 		days   = fs.Int("days", 1, "days to simulate")
@@ -48,7 +53,7 @@ func run(args []string) error {
 		for _, p := range strings.Split(*pools, ",") {
 			keep[strings.TrimSpace(p)] = true
 		}
-		var filtered []sim.PoolConfig
+		var filtered []headroom.PoolConfig
 		for _, pc := range cfg.Pools {
 			if keep[pc.Name] {
 				filtered = append(filtered, pc)
@@ -83,8 +88,12 @@ func run(args []string) error {
 		return fmt.Errorf("unknown format %q (want csv or jsonl)", *format)
 	}
 
+	s, err := headroom.New(ctx, headroom.WithSource(headroom.NewSimSource(cfg, *days)))
+	if err != nil {
+		return err
+	}
 	var n int
-	if err := headroom.SimulateStream(cfg, *days, func(r trace.Record) error {
+	if err := s.Stream(ctx, nil, func(r headroom.Record) error {
 		n++
 		return write(r)
 	}); err != nil {

@@ -7,24 +7,30 @@
 //	experiments -list
 //	experiments -run fig9
 //	experiments -run all -fast
+//
+// Interrupting the process (Ctrl-C) cancels the in-flight experiment.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"headroom/internal/experiments"
+	"headroom"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		id   = fs.String("run", "all", "experiment ID to run, or 'all'")
@@ -36,25 +42,24 @@ func run(args []string) error {
 		return err
 	}
 	if *list {
-		for _, e := range experiments.Registry {
+		for _, e := range headroom.Experiments() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
 		return nil
 	}
-	cfg := experiments.Config{Seed: *seed, Fast: *fast}
+	s, err := headroom.New(ctx, headroom.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
 	if *id != "all" {
-		exp, err := experiments.ByID(*id)
-		if err != nil {
-			return err
-		}
-		res, err := exp.Run(cfg)
+		res, err := s.RunExperiment(ctx, *id, *fast)
 		if err != nil {
 			return err
 		}
 		return res.Render(os.Stdout)
 	}
-	for _, e := range experiments.Registry {
-		res, err := e.Run(cfg)
+	for _, e := range headroom.Experiments() {
+		res, err := s.RunExperiment(ctx, e.ID, *fast)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

@@ -8,18 +8,21 @@
 package main
 
 import (
+	"context"
 	"log"
 	"os"
 
-	"headroom/internal/experiments"
+	"headroom"
 )
 
 func main() {
-	exp, err := experiments.ByID("ablation-planners")
+	ctx := context.Background()
+
+	s, err := headroom.New(ctx, headroom.WithSeed(1))
 	if err != nil {
-		log.Fatalf("lookup: %v", err)
+		log.Fatalf("session: %v", err)
 	}
-	res, err := exp.Run(experiments.Config{Seed: 1})
+	res, err := s.RunExperiment(ctx, "ablation-planners", false)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}

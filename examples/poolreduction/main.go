@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,9 +15,17 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
+	s, err := headroom.New(ctx)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+
 	// The plant is pool B receiving its organic diurnal traffic share in
 	// DC 1. In production this loop is supervised by service operators;
-	// here the simulator stands in for the live pool.
+	// here the simulator stands in for the live pool. Cancelling ctx stops
+	// the experiment between (and inside) observations.
 	plant := &headroom.SimPlant{
 		Pool:      headroom.PoolB(),
 		DC:        headroom.NineRegions()[0], // DC 1
@@ -24,7 +33,7 @@ func main() {
 		Seed:      7,
 	}
 
-	res, err := headroom.RunRSM(plant, headroom.RSMConfig{
+	res, err := s.RunRSM(ctx, plant, headroom.RSMConfig{
 		InitialServers: 300,
 		QoSLimitMs:     36, // current p95 latency + the 5 ms business budget
 		StepFrac:       0.10,

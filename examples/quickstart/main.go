@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The paper's two reduction-experiment subjects: pool B (query
 	// modification) and pool D (traffic routing / page rendering).
 	fleet := headroom.FleetConfig{
@@ -23,16 +26,28 @@ func main() {
 		Seed:              1,
 	}
 
+	// The session carries the shared pipeline configuration: the fleet to
+	// measure and the latency budget the planner may spend.
+	s, err := headroom.New(ctx,
+		headroom.WithFleet(fleet),
+		headroom.WithPlanConfig(headroom.PlanConfig{LatencyBudgetMs: 5, Seed: 2}),
+	)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+
 	// Step 0: collect a day of 120-second observation windows. The planner
 	// sees only these records, never the simulator's ground truth.
-	agg, err := headroom.Simulate(fleet, 1)
+	// Aggregation shards per pool across CPUs; results are identical to a
+	// sequential pass.
+	agg, err := s.Simulate(ctx, 1)
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
 	}
 
 	// Steps 1-2: validate metrics, group servers, fit workload models, and
-	// right-size every pool within a 5 ms latency budget.
-	plans, err := headroom.Plan(agg, headroom.PlanConfig{LatencyBudgetMs: 5, Seed: 2})
+	// right-size every pool within the 5 ms latency budget.
+	plans, err := s.Plan(ctx, agg)
 	if err != nil {
 		log.Fatalf("plan: %v", err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,14 @@ import (
 )
 
 func main() {
-	report, err := headroom.ValidateChange(headroom.ValidateConfig{
+	ctx := context.Background()
+
+	s, err := headroom.New(ctx)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+
+	report, err := s.Validate(ctx, headroom.ValidateConfig{
 		Pool:          headroom.PoolB(),
 		Servers:       20,
 		Loads:         []float64{100, 180, 260, 340, 420, 500, 580},

@@ -1,0 +1,3 @@
+module headroom
+
+go 1.24

@@ -5,24 +5,37 @@
 // statistics substrate, baselines and benchmark harness needed to reproduce
 // the paper's evaluation.
 //
-// The facade exposes the four-step pipeline:
+// The entry point is a Session (see New), configured with functional
+// options, whose methods expose the four-step pipeline:
 //
 //  1. Measure  — validate workload metrics, group servers (Simulate + Plan)
 //  2. Optimize — fit workload→QoS models and right-size pools (Plan, RunRSM)
-//  3. Model    — build and verify synthetic workloads (internal/synth)
-//  4. Validate — gate changes offline before deployment (ValidateChange)
+//  3. Model    — build and verify synthetic workloads (BuildProfile,
+//     NewSynthSource)
+//  4. Validate — gate changes offline before deployment (Validate)
 //
-// Paper tables and figures are regenerated through RunExperiment /
+// Every pipeline step consumes a Source — a stream of trace records — so
+// the simulator, synthetic replays and recorded traces are interchangeable
+// inputs. Aggregation shards across goroutines (per pool) with results
+// bit-identical to a sequential pass.
+//
+// Paper tables and figures are regenerated through Session.RunExperiment /
 // Experiments; `go test -bench .` runs one benchmark per artifact.
+//
+// The package-level free functions mirror the Session methods for
+// compatibility with earlier versions; they are deprecated.
 package headroom
 
 import (
+	"context"
+
 	"headroom/internal/core"
 	"headroom/internal/forecast"
 	"headroom/internal/metrics"
 	"headroom/internal/optimize"
 	"headroom/internal/sim"
 	"headroom/internal/slo"
+	"headroom/internal/synth"
 	"headroom/internal/trace"
 	"headroom/internal/validate"
 	"headroom/internal/workload"
@@ -41,7 +54,8 @@ type (
 	Action = sim.Action
 	// Record is one 120-second observation window for one server.
 	Record = trace.Record
-	// Aggregator turns records into pool/server statistics.
+	// Aggregator turns records into pool/server statistics. Aggregators
+	// built from disjoint shards of a stream merge losslessly (Merge).
 	Aggregator = metrics.Aggregator
 	// PlanConfig controls a planning pass.
 	PlanConfig = core.PlanConfig
@@ -74,6 +88,9 @@ type (
 	ForecastModel = forecast.Model
 	// PoolModel is the fitted workload→resource/QoS model of a pool.
 	PoolModel = optimize.PoolModel
+	// Profile is a reproducible synthetic workload (Step 3), replayable
+	// through NewSynthSource.
+	Profile = synth.Profile
 	// DCCapacity and DRPlan drive disaster-recovery sizing.
 	DCCapacity = optimize.DCCapacity
 	DRPlan     = optimize.DRPlan
@@ -93,51 +110,72 @@ func PoolD() PoolConfig { return sim.PoolD() }
 // NineRegions returns the nine-datacenter global topology.
 func NineRegions() []Datacenter { return workload.NineRegions() }
 
+// BuildProfile derives a synthetic workload profile from production pool
+// history: a load sweep covering the observed per-server range (plus
+// extendFrac stretch beyond the p99 for stress testing) at a controlled
+// offline pool size. Replay it with NewSynthSource.
+func BuildProfile(series []metrics.TickStat, mix workload.Mix, servers, levels int, extendFrac float64) (Profile, error) {
+	return synth.BuildProfile(series, mix, servers, levels, extendFrac)
+}
+
 // Simulate runs a fleet for the given number of days and returns the
-// aggregated observations. Scheduled actions model reduction experiments
-// and deployments.
+// aggregated observations.
+//
+// Deprecated: use New and Session.Simulate, which add cancellation, pluggable
+// sources and sharded aggregation.
 func Simulate(cfg FleetConfig, days int, actions ...Action) (*Aggregator, error) {
-	s, err := sim.New(cfg, actions...)
+	s, err := New(context.Background(), WithFleet(cfg))
 	if err != nil {
 		return nil, err
 	}
-	agg := metrics.NewAggregator()
-	if err := s.Run(days*s.TicksPerDay(), func(r Record) error {
-		agg.Add(r)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return agg, nil
+	return s.Simulate(context.Background(), days, actions...)
 }
 
 // SimulateStream runs a fleet and streams every record through emit,
 // for workloads too large to aggregate in one pass.
+//
+// Deprecated: use New and Session.Stream with NewSimSource.
 func SimulateStream(cfg FleetConfig, days int, emit func(Record) error, actions ...Action) error {
-	s, err := sim.New(cfg, actions...)
+	s, err := New(context.Background(), WithFleet(cfg))
 	if err != nil {
 		return err
 	}
-	return s.Run(days*s.TicksPerDay(), emit)
+	return s.Stream(context.Background(), NewSimSource(cfg, days, actions...), emit)
 }
 
-// Plan runs Steps 1-2 of the methodology over aggregated observations:
-// metric validation (with refinement), server grouping, model fitting, and
-// right-sizing each pool within the latency budget.
+// Plan runs Steps 1-2 of the methodology over aggregated observations.
+//
+// Deprecated: use New with WithPlanConfig and Session.Plan.
 func Plan(agg *Aggregator, cfg PlanConfig) ([]PoolPlan, error) {
-	return core.Plan(agg, cfg)
+	s, err := New(context.Background(), WithPlanConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return s.Plan(context.Background(), agg)
 }
 
 // RunRSM executes the iterative server-reduction experiment of §II-B2
 // against a plant, stopping at the QoS limit.
+//
+// Deprecated: use New and Session.RunRSM, which propagate cancellation into
+// the plant.
 func RunRSM(plant Plant, cfg RSMConfig) (RSMResult, error) {
-	return optimize.RunRSM(plant, cfg)
+	s, err := New(context.Background())
+	if err != nil {
+		return RSMResult{}, err
+	}
+	return s.RunRSM(context.Background(), plant, cfg)
 }
 
-// ValidateChange runs the offline A/B regression harness of §II-D: two
-// identical pools, identical synthetic workload sweeps, one with the change.
+// ValidateChange runs the offline A/B regression harness of §II-D.
+//
+// Deprecated: use New and Session.Validate.
 func ValidateChange(cfg ValidateConfig, change Change) (ValidateReport, error) {
-	return validate.Run(cfg, change)
+	s, err := New(context.Background())
+	if err != nil {
+		return ValidateReport{}, err
+	}
+	return s.Validate(context.Background(), cfg, change)
 }
 
 // TypicalSLO returns the SLO set the paper describes as typical for large
@@ -153,10 +191,15 @@ func EvaluateSLO(set SLOSet, series []metrics.TickStat, meanAvailability float64
 }
 
 // ForecastWorkload fits a trend + daily-seasonality model to an offered-load
-// series, the workload-trend input capacity planners combine with QoS
-// requirements (§II).
+// series.
+//
+// Deprecated: use New and Session.Forecast.
 func ForecastWorkload(series []float64, ticksPerDay int) (ForecastModel, error) {
-	return forecast.Fit(series, ticksPerDay)
+	s, err := New(context.Background())
+	if err != nil {
+		return ForecastModel{}, err
+	}
+	return s.Forecast(context.Background(), series, ticksPerDay)
 }
 
 // FitPoolModel fits the workload models (linear CPU, quadratic latency)

@@ -2,12 +2,11 @@ package headroom_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
 	"headroom"
-	"headroom/internal/forecast"
-	"headroom/internal/metrics"
 	"headroom/internal/optimize"
 	"headroom/internal/sim"
 	"headroom/internal/slo"
@@ -16,10 +15,12 @@ import (
 	"headroom/internal/workload"
 )
 
-// TestFullMethodologyPipeline walks the paper's complete loop on pool B:
-// measure production, plan a reduction, verify a synthetic workload, gate a
-// change offline, run the reduction, and confirm the forecast QoS held.
+// TestFullMethodologyPipeline walks the paper's complete loop on pool B
+// through the Session API: measure production, plan a reduction, verify a
+// synthetic workload, gate a change offline, run the reduction, and confirm
+// the forecast QoS held.
 func TestFullMethodologyPipeline(t *testing.T) {
+	ctx := context.Background()
 	pool := sim.PoolB()
 	fleet := headroom.FleetConfig{
 		DCs:               headroom.NineRegions(),
@@ -27,13 +28,20 @@ func TestFullMethodologyPipeline(t *testing.T) {
 		WorkloadNoiseFrac: 0.03,
 		Seed:              42,
 	}
+	s, err := headroom.New(ctx,
+		headroom.WithFleet(fleet),
+		headroom.WithPlanConfig(headroom.PlanConfig{LatencyBudgetMs: 5, Seed: 43}),
+	)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
 
 	// --- Step 1-2: measure production and plan. ---
-	agg, err := headroom.Simulate(fleet, 2)
+	agg, err := s.Simulate(ctx, 2)
 	if err != nil {
 		t.Fatalf("simulate: %v", err)
 	}
-	plans, err := headroom.Plan(agg, headroom.PlanConfig{LatencyBudgetMs: 5, Seed: 43})
+	plans, err := s.Plan(ctx, agg)
 	if err != nil {
 		t.Fatalf("plan: %v", err)
 	}
@@ -47,21 +55,20 @@ func TestFullMethodologyPipeline(t *testing.T) {
 		t.Fatalf("DC 1 plan unusable: %+v", dc1)
 	}
 
-	// --- Step 3: build and verify a synthetic workload. ---
+	// --- Step 3: build and verify a synthetic workload, replayed through
+	// the same Source interface production records stream through. ---
 	prodSeries, err := agg.PoolSeries("DC 1", "B")
 	if err != nil {
 		t.Fatal(err)
 	}
-	profile, err := synth.BuildProfile(prodSeries, pool.Mix, 20, 12, 0.25)
+	profile, err := headroom.BuildProfile(prodSeries, pool.Mix, 20, 12, 0.25)
 	if err != nil {
 		t.Fatalf("build profile: %v", err)
 	}
-	recs, err := synth.Replay(pool, profile, 20, 44)
+	sagg, err := s.Aggregate(ctx, headroom.NewSynthSource(pool, profile, 20, 44))
 	if err != nil {
-		t.Fatalf("replay: %v", err)
+		t.Fatalf("aggregate synth source: %v", err)
 	}
-	sagg := metrics.NewAggregator()
-	sagg.AddAll(recs)
 	synthSeries, err := sagg.PoolSeries("offline", "B")
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +82,7 @@ func TestFullMethodologyPipeline(t *testing.T) {
 	}
 
 	// --- Step 4: offline-gate a benign change before the reduction. ---
-	rep, err := headroom.ValidateChange(headroom.ValidateConfig{
+	rep, err := s.Validate(ctx, headroom.ValidateConfig{
 		Pool: pool, Servers: 20,
 		Loads:         []float64{150, 300, 450, 600},
 		TicksPerLevel: 20, Seed: 45,
@@ -91,7 +98,7 @@ func TestFullMethodologyPipeline(t *testing.T) {
 	}
 
 	// --- Execute the planned reduction and check the forecast held. ---
-	redAgg, err := headroom.Simulate(fleet, 2, headroom.Action{
+	redAgg, err := s.Simulate(ctx, 2, headroom.Action{
 		Pool: "B", DC: "DC 1", Tick: 0, SetServers: dc1.RecommendedServers,
 	})
 	if err != nil {
@@ -119,8 +126,8 @@ func TestFullMethodologyPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	var avail float64
-	for _, s := range sums {
-		avail += s.Availability
+	for _, sum := range sums {
+		avail += sum.Availability
 	}
 	avail /= float64(len(sums))
 	sloRep, err := slo.Evaluate(slo.Set{
@@ -141,6 +148,7 @@ func TestFullMethodologyPipeline(t *testing.T) {
 // the DR planner: predict next-day peaks per DC, then size every DC to
 // survive any single-region failure.
 func TestForecastDrivenDisasterRecovery(t *testing.T) {
+	ctx := context.Background()
 	pool := sim.PoolB()
 	fleet := headroom.FleetConfig{
 		DCs:               headroom.NineRegions(),
@@ -148,7 +156,11 @@ func TestForecastDrivenDisasterRecovery(t *testing.T) {
 		WorkloadNoiseFrac: 0.03,
 		Seed:              50,
 	}
-	agg, err := headroom.Simulate(fleet, 3)
+	s, err := headroom.New(ctx, headroom.WithFleet(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := s.Simulate(ctx, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +179,7 @@ func TestForecastDrivenDisasterRecovery(t *testing.T) {
 				loads[ts.Tick] = ts.TotalRPS
 			}
 		}
-		fm, err := forecast.Fit(loads, tpd)
+		fm, err := s.Forecast(ctx, loads, tpd)
 		if err != nil {
 			t.Fatalf("forecast %s: %v", dcName, err)
 		}
@@ -203,16 +215,22 @@ func TestForecastDrivenDisasterRecovery(t *testing.T) {
 }
 
 // TestTraceRoundTripThroughPipeline checks the capsim->capplan file path:
-// records survive serialisation and the planner sees identical data.
+// records survive serialisation, and replaying the decoded trace through a
+// ReplaySource-backed session gives the planner identical data.
 func TestTraceRoundTripThroughPipeline(t *testing.T) {
+	ctx := context.Background()
 	fleet := headroom.FleetConfig{
 		DCs:   headroom.NineRegions(),
 		Pools: []headroom.PoolConfig{headroom.PoolB()},
 		Seed:  60,
 	}
+	writer, err := headroom.New(ctx, headroom.WithFleet(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	w := trace.NewCSVWriter(&buf)
-	if err := headroom.SimulateStream(fleet, 1, func(r headroom.Record) error {
+	if err := writer.Stream(ctx, headroom.NewSimSource(fleet, 1), func(r headroom.Record) error {
 		return w.Write(r)
 	}); err != nil {
 		t.Fatal(err)
@@ -224,9 +242,18 @@ func TestTraceRoundTripThroughPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := metrics.NewAggregator()
-	agg.AddAll(recs)
-	plans, err := headroom.Plan(agg, headroom.PlanConfig{Seed: 61})
+	reader, err := headroom.New(ctx,
+		headroom.WithSource(headroom.NewReplaySource(recs)),
+		headroom.WithPlanConfig(headroom.PlanConfig{Seed: 61}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := reader.Simulate(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := reader.Plan(ctx, agg)
 	if err != nil {
 		t.Fatal(err)
 	}

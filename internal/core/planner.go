@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -83,8 +84,9 @@ type PoolPlan struct {
 }
 
 // Plan runs Steps 1-2 for every pool in the aggregator and returns one plan
-// per (pool, DC), sorted by pool then DC.
-func Plan(agg *metrics.Aggregator, cfg PlanConfig) ([]PoolPlan, error) {
+// per (pool, DC), sorted by pool then DC. Cancellation is checked between
+// pools; a cancelled ctx returns ctx.Err().
+func Plan(ctx context.Context, agg *metrics.Aggregator, cfg PlanConfig) ([]PoolPlan, error) {
 	if agg == nil {
 		return nil, errors.New("core: nil aggregator")
 	}
@@ -95,6 +97,9 @@ func Plan(agg *metrics.Aggregator, cfg PlanConfig) ([]PoolPlan, error) {
 	}
 	plans := make([]PoolPlan, 0, len(keys))
 	for _, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		plan, err := planPool(agg, key, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: pool %s: %w", key, err)
@@ -251,7 +256,7 @@ type SimPlant struct {
 var _ optimize.Plant = (*SimPlant)(nil)
 
 // Observe implements optimize.Plant.
-func (p *SimPlant) Observe(servers, ticks int) ([]metrics.TickStat, error) {
+func (p *SimPlant) Observe(ctx context.Context, servers, ticks int) ([]metrics.TickStat, error) {
 	if servers <= 0 {
 		return nil, fmt.Errorf("core: non-positive server count %d", servers)
 	}
@@ -273,7 +278,7 @@ func (p *SimPlant) Observe(servers, ticks int) ([]metrics.TickStat, error) {
 		// The plant's DC receives its fleet share of the pool's traffic.
 		offered[t] = v * p.DC.Weight
 	}
-	recs, err := sim.SimulatePool(p.Pool, p.DC.Name, offered, servers, p.Seed+int64(p.calls))
+	recs, err := sim.SimulatePoolContext(ctx, p.Pool, p.DC.Name, offered, servers, p.Seed+int64(p.calls))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

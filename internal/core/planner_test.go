@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"headroom/internal/metrics"
@@ -31,7 +32,7 @@ func runFleet(t *testing.T, pools []sim.PoolConfig, days int, seed int64) *metri
 
 func TestPlanEndToEnd(t *testing.T) {
 	agg := runFleet(t, []sim.PoolConfig{sim.PoolB(), sim.PoolD()}, 2, 1)
-	plans, err := Plan(agg, PlanConfig{LatencyBudgetMs: 5, Seed: 2})
+	plans, err := Plan(context.Background(), agg, PlanConfig{LatencyBudgetMs: 5, Seed: 2})
 	if err != nil {
 		t.Fatalf("Plan: %v", err)
 	}
@@ -78,7 +79,7 @@ func TestPlanRefinesContaminatedPool(t *testing.T) {
 	// Pool A's background log uploads contaminate its CPU metric; the
 	// planner must pass it through the refinement loop and still plan it.
 	agg := runFleet(t, []sim.PoolConfig{sim.PoolA()}, 2, 3)
-	plans, err := Plan(agg, PlanConfig{Seed: 4})
+	plans, err := Plan(context.Background(), agg, PlanConfig{Seed: 4})
 	if err != nil {
 		t.Fatalf("Plan: %v", err)
 	}
@@ -98,7 +99,7 @@ func TestPlanRefinesContaminatedPool(t *testing.T) {
 
 func TestPlanDetectsTwoGroups(t *testing.T) {
 	agg := runFleet(t, []sim.PoolConfig{sim.PoolI()}, 1, 5)
-	plans, err := Plan(agg, PlanConfig{Seed: 6})
+	plans, err := Plan(context.Background(), agg, PlanConfig{Seed: 6})
 	if err != nil {
 		t.Fatalf("Plan: %v", err)
 	}
@@ -110,10 +111,10 @@ func TestPlanDetectsTwoGroups(t *testing.T) {
 }
 
 func TestPlanErrors(t *testing.T) {
-	if _, err := Plan(nil, PlanConfig{}); err == nil {
+	if _, err := Plan(context.Background(), nil, PlanConfig{}); err == nil {
 		t.Error("nil aggregator should error")
 	}
-	if _, err := Plan(metrics.NewAggregator(), PlanConfig{}); err == nil {
+	if _, err := Plan(context.Background(), metrics.NewAggregator(), PlanConfig{}); err == nil {
 		t.Error("empty aggregator should error")
 	}
 }
@@ -124,7 +125,7 @@ func TestSimPlantObserve(t *testing.T) {
 		DC:   workload.Datacenter{Name: "DC 1", UTCOffset: -8 * 3600 * 1e9, Weight: 0.16},
 		Seed: 7,
 	}
-	series, err := plant.Observe(300, 100)
+	series, err := plant.Observe(context.Background(), 300, 100)
 	if err != nil {
 		t.Fatalf("Observe: %v", err)
 	}
@@ -137,17 +138,17 @@ func TestSimPlantObserve(t *testing.T) {
 		}
 	}
 	// Successive observations see fresh traffic.
-	series2, err := plant.Observe(300, 100)
+	series2, err := plant.Observe(context.Background(), 300, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if series[0].TotalRPS == series2[0].TotalRPS {
 		t.Error("successive Observe calls should differ (fresh noise)")
 	}
-	if _, err := plant.Observe(0, 10); err == nil {
+	if _, err := plant.Observe(context.Background(), 0, 10); err == nil {
 		t.Error("zero servers should error")
 	}
-	if _, err := plant.Observe(10, 0); err == nil {
+	if _, err := plant.Observe(context.Background(), 10, 0); err == nil {
 		t.Error("zero ticks should error")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -16,7 +17,7 @@ import (
 // and traffic shifts. It generates a pool-B-like latency curve with a block
 // of deployment-inflated outliers and compares extrapolation error of plain
 // OLS against RANSAC across contamination levels.
-func AblationRANSAC(cfg Config) (*Result, error) {
+func AblationRANSAC(ctx context.Context, cfg Config) (*Result, error) {
 	truth := stats.Polynomial{Coeffs: []float64{36.68, -0.031, 4.028e-5}}
 	res := &Result{
 		ID:     "ablation-ransac",
@@ -65,7 +66,7 @@ func AblationRANSAC(cfg Config) (*Result, error) {
 // (§III-A1: "quadratic polynomials worked... no need for more complex
 // approaches"): fit degrees 1-3 on the normally observed load range and
 // score extrapolation to the post-reduction range.
-func AblationDegree(cfg Config) (*Result, error) {
+func AblationDegree(ctx context.Context, cfg Config) (*Result, error) {
 	truth := stats.Polynomial{Coeffs: []float64{36.68, -0.031, 4.028e-5}}
 	rng := rand.New(rand.NewSource(cfg.Seed + 901))
 	var xs, ys []float64
@@ -95,7 +96,7 @@ func AblationDegree(cfg Config) (*Result, error) {
 // AblationPartitions studies the J (load-partition count) trade-off of
 // §II-B2: more partitions isolate the server-count effect better but leave
 // fewer, noisier observations per fit.
-func AblationPartitions(cfg Config) (*Result, error) {
+func AblationPartitions(ctx context.Context, cfg Config) (*Result, error) {
 	truth := stats.Polynomial{Coeffs: []float64{36.68, -0.031, 4.028e-5}}
 	rng := rand.New(rand.NewSource(cfg.Seed + 902))
 	// History: total load varies diurnally, server count varies with
@@ -170,7 +171,7 @@ func meanServers(p optimize.Partition) float64 {
 // AblationPlanners compares the paper's black-box plan against the two
 // prior-work families of §I on the same pool-B-like system: a naive M/M/c
 // queueing plan, a calibrated M/M/c plan, and a reactive autoscaler.
-func AblationPlanners(cfg Config) (*Result, error) {
+func AblationPlanners(ctx context.Context, cfg Config) (*Result, error) {
 	// Ground truth (black box to all planners): pool B's latency quadratic
 	// and a diurnal day of traffic for DC 1.
 	truthLat := stats.Polynomial{Coeffs: []float64{36.68, -0.031, 4.028e-5}}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"headroom/internal/metrics"
@@ -47,7 +48,7 @@ func naturalEvent(startTick int) workload.Event {
 
 // naturalRun simulates the event: two days before, the event mid-day-3,
 // then the remainder of day 3 (paper: "2 days before and after").
-func naturalRun(cfg Config) (*metrics.Aggregator, int, int, error) {
+func naturalRun(ctx context.Context, cfg Config) (*metrics.Aggregator, int, int, error) {
 	days := 5
 	eventStart := 2*720 + 390 // mid-afternoon of day 3
 	if cfg.Fast {
@@ -61,7 +62,7 @@ func naturalRun(cfg Config) (*metrics.Aggregator, int, int, error) {
 		return nil, 0, 0, err
 	}
 	pool.Schedule = sched
-	agg, err := poolAggregator(pool, cfg.Seed+500, days*720)
+	agg, err := poolAggregator(ctx, pool, cfg.Seed+500, days*720)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -69,8 +70,8 @@ func naturalRun(cfg Config) (*metrics.Aggregator, int, int, error) {
 }
 
 // Fig4 reproduces the workload time series around the unplanned event.
-func Fig4(cfg Config) (*Result, error) {
-	agg, start, end, err := naturalRun(cfg)
+func Fig4(ctx context.Context, cfg Config) (*Result, error) {
+	agg, start, end, err := naturalRun(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -134,8 +135,8 @@ func Fig4(cfg Config) (*Result, error) {
 
 // Fig5 shows the pre-event linear CPU model holding through the surge, with
 // latency staying below the paper's 26 ms.
-func Fig5(cfg Config) (*Result, error) {
-	agg, start, end, err := naturalRun(cfg)
+func Fig5(ctx context.Context, cfg Config) (*Result, error) {
+	agg, start, end, err := naturalRun(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +179,7 @@ func Fig5(cfg Config) (*Result, error) {
 // Fig6 reproduces the 4x-load natural experiment: five datacenters' latency
 // vs workload with one (DC 5) receiving four times its normal traffic, and
 // its pre-event trend line predicting the behaviour.
-func Fig6(cfg Config) (*Result, error) {
+func Fig6(ctx context.Context, cfg Config) (*Result, error) {
 	pool := sim.PoolConfig{
 		Name:        "W",
 		Description: "4x natural-experiment pool (Figure 6)",
@@ -209,7 +210,7 @@ func Fig6(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	pool.Schedule = sched
-	agg, err := poolAggregator(pool, cfg.Seed+600, days*720)
+	agg, err := poolAggregator(ctx, pool, cfg.Seed+600, days*720)
 	if err != nil {
 		return nil, err
 	}

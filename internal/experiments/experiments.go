@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -113,7 +114,7 @@ func (r *Result) Render(w io.Writer) error {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Config) (*Result, error)
+	Run   func(context.Context, Config) (*Result, error)
 }
 
 // Registry lists every experiment in paper order.
@@ -166,12 +167,16 @@ var (
 
 // fleetAggregator simulates the default fleet for the given days and
 // aggregates it, caching per (seed, days) because Figures 12-14 share the
-// same fleet-day.
-func fleetAggregator(seed int64, days int) (*metrics.Aggregator, error) {
+// same fleet-day. The lock covers only the cache map, never the simulation,
+// so concurrent experiments stay cancellable; two concurrent misses both
+// simulate, deterministically producing the same aggregate (last one wins
+// the cache slot).
+func fleetAggregator(ctx context.Context, seed int64, days int) (*metrics.Aggregator, error) {
 	key := fleetKey{seed: seed, days: days}
 	fleetMu.Lock()
-	defer fleetMu.Unlock()
-	if agg, ok := fleetCache[key]; ok {
+	agg, ok := fleetCache[key]
+	fleetMu.Unlock()
+	if ok {
 		return agg, nil
 	}
 	cfg := sim.DefaultFleet(seed)
@@ -179,20 +184,22 @@ func fleetAggregator(seed int64, days int) (*metrics.Aggregator, error) {
 	if err != nil {
 		return nil, err
 	}
-	agg := metrics.NewAggregator()
-	if err := s.Run(days*s.TicksPerDay(), func(r trace.Record) error {
+	agg = metrics.NewAggregator()
+	if err := s.RunContext(ctx, days*s.TicksPerDay(), func(r trace.Record) error {
 		agg.Add(r)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	fleetMu.Lock()
 	fleetCache[key] = agg
+	fleetMu.Unlock()
 	return agg, nil
 }
 
 // poolAggregator simulates a single-pool fleet (cheaper than the whole
 // default fleet) with optional actions, returning the aggregator.
-func poolAggregator(pool sim.PoolConfig, seed int64, ticks int, actions ...sim.Action) (*metrics.Aggregator, error) {
+func poolAggregator(ctx context.Context, pool sim.PoolConfig, seed int64, ticks int, actions ...sim.Action) (*metrics.Aggregator, error) {
 	cfg := sim.FleetConfig{
 		DCs:               nineRegions(),
 		Pools:             []sim.PoolConfig{pool},
@@ -204,7 +211,7 @@ func poolAggregator(pool sim.PoolConfig, seed int64, ticks int, actions ...sim.A
 		return nil, err
 	}
 	agg := metrics.NewAggregator()
-	if err := s.Run(ticks, func(r trace.Record) error { agg.Add(r); return nil }); err != nil {
+	if err := s.RunContext(ctx, ticks, func(r trace.Record) error { agg.Add(r); return nil }); err != nil {
 		return nil, err
 	}
 	return agg, nil

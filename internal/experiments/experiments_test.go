@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -16,7 +17,7 @@ func run(t *testing.T, id string) *Result {
 	if err != nil {
 		t.Fatalf("ByID(%s): %v", id, err)
 	}
-	res, err := exp.Run(fastCfg())
+	res, err := exp.Run(context.Background(), fastCfg())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"headroom/internal/measure"
@@ -28,8 +29,8 @@ func fleetServerSummaries(agg *metrics.Aggregator) ([]metrics.ServerSummary, err
 
 // Fig12 reproduces the CDF of per-server 95th-percentile CPU over a day.
 // Paper: ~60% of servers at p95 <= 15%, ~80% below 30%, global mean ~23%.
-func Fig12(cfg Config) (*Result, error) {
-	agg, err := fleetAggregator(cfg.Seed, 1)
+func Fig12(ctx context.Context, cfg Config) (*Result, error) {
+	agg, err := fleetAggregator(ctx, cfg.Seed, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +69,7 @@ func Fig12(cfg Config) (*Result, error) {
 
 // Fig13 reproduces the distribution of individual 120 s CPU samples.
 // Paper: only 1% of samples above 25%, fewer than 0.1% above 40%.
-func Fig13(cfg Config) (*Result, error) {
+func Fig13(ctx context.Context, cfg Config) (*Result, error) {
 	// Per-server summaries cannot reconstruct the raw sample distribution,
 	// so stream a fleet-day at the sample level with the same seed.
 	s, err := sim.New(sim.DefaultFleet(cfg.Seed))
@@ -80,7 +81,7 @@ func Fig13(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	var total, above25, above40 int
-	if err := s.Run(s.TicksPerDay(), func(r trace.Record) error {
+	if err := s.RunContext(ctx, s.TicksPerDay(), func(r trace.Record) error {
 		if !r.Online {
 			return nil
 		}
@@ -122,8 +123,8 @@ func Fig13(cfg Config) (*Result, error) {
 
 // Fig14 reproduces the distribution of daily server availability.
 // Paper: average 83%, most servers >= 80%, modes at 85% and 98%.
-func Fig14(cfg Config) (*Result, error) {
-	agg, err := fleetAggregator(cfg.Seed, 1)
+func Fig14(ctx context.Context, cfg Config) (*Result, error) {
+	agg, err := fleetAggregator(ctx, cfg.Seed, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +165,7 @@ func Fig14(cfg Config) (*Result, error) {
 // Fig15 reproduces the daily availability time series of pools C, D and H
 // over 14 days. Paper: D and H consistently ~98%, C ~90%, with occasional
 // pool-wide incident days.
-func Fig15(cfg Config) (*Result, error) {
+func Fig15(ctx context.Context, cfg Config) (*Result, error) {
 	days := 14
 	if cfg.Fast {
 		days = 4
@@ -181,7 +182,7 @@ func Fig15(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	agg := metrics.NewAggregator()
-	if err := s.Run(days*s.TicksPerDay(), func(r trace.Record) error { agg.Add(r); return nil }); err != nil {
+	if err := s.RunContext(ctx, days*s.TicksPerDay(), func(r trace.Record) error { agg.Add(r); return nil }); err != nil {
 		return nil, err
 	}
 	series := map[string][]float64{}
@@ -227,8 +228,8 @@ func Fig15(cfg Config) (*Result, error) {
 
 // Fig3 reproduces the (p5, p95) CPU scatter of pool I whose servers span
 // two hardware generations, and the automated grouping that separates them.
-func Fig3(cfg Config) (*Result, error) {
-	agg, err := poolAggregator(sim.PoolI(), cfg.Seed, 720)
+func Fig3(ctx context.Context, cfg Config) (*Result, error) {
+	agg, err := poolAggregator(ctx, sim.PoolI(), cfg.Seed, 720)
 	if err != nil {
 		return nil, err
 	}
@@ -268,8 +269,8 @@ func Fig3(cfg Config) (*Result, error) {
 
 // Fig2 reproduces the six resource-counter-vs-workload panels for
 // micro-service D across six datacenters over one day.
-func Fig2(cfg Config) (*Result, error) {
-	agg, err := poolAggregator(sim.PoolD(), cfg.Seed, 720)
+func Fig2(ctx context.Context, cfg Config) (*Result, error) {
+	agg, err := poolAggregator(ctx, sim.PoolD(), cfg.Seed, 720)
 	if err != nil {
 		return nil, err
 	}

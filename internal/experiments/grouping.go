@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"headroom/internal/measure"
@@ -16,8 +17,8 @@ import (
 // Paper: 34 splits, R² = 0.746, AUC = 0.9804, minimum leaf size 2000
 // machines (we scale the leaf size to our fleet). The paper also reports
 // 55% of pools with diurnal workloads exhibit a tightly bound CPU range.
-func GroupingTree(cfg Config) (*Result, error) {
-	agg, err := fleetAggregator(cfg.Seed, 1)
+func GroupingTree(ctx context.Context, cfg Config) (*Result, error) {
+	agg, err := fleetAggregator(ctx, cfg.Seed, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"headroom/internal/metrics"
@@ -24,7 +25,7 @@ type reductionRun struct {
 // runReduction simulates a pool, then applies a capacity reduction plus the
 // confounds the paper reports (organic traffic growth during the experiment
 // and, for pool B, a deployment shifting the CPU intercept).
-func runReduction(pool sim.PoolConfig, dc string, reduceFrac, surgeFrac, interceptShift float64,
+func runReduction(ctx context.Context, pool sim.PoolConfig, dc string, reduceFrac, surgeFrac, interceptShift float64,
 	origTicks, redTicks int, seed int64) (*reductionRun, error) {
 	origServers := pool.Servers[dc]
 	if origServers == 0 {
@@ -57,7 +58,7 @@ func runReduction(pool sim.PoolConfig, dc string, reduceFrac, surgeFrac, interce
 			Pool: pool.Name, DC: dc, Tick: origTicks, CPUInterceptDelta: interceptShift,
 		})
 	}
-	agg, err := poolAggregator(pool, seed, origTicks+redTicks, actions...)
+	agg, err := poolAggregator(ctx, pool, seed, origTicks+redTicks, actions...)
 	if err != nil {
 		return nil, err
 	}
@@ -108,28 +109,28 @@ func stageTable(run *reductionRun, reduceLabel string) *Result {
 // a 30% reduction in DC 1 coinciding with a production traffic increase and
 // a deployment that shifts the CPU intercept (the paper's observed 1.37 ->
 // 1.7 confound).
-func poolBRun(cfg Config) (*reductionRun, error) {
+func poolBRun(ctx context.Context, cfg Config) (*reductionRun, error) {
 	origTicks, redTicks := 5*720, 3*720 // 5 weekdays original, 3 days reduced
 	if cfg.Fast {
 		origTicks, redTicks = 720, 720
 	}
-	return runReduction(sim.PoolB(), "DC 1", 0.30, 0.05, 0.33, origTicks, redTicks, cfg.Seed+100)
+	return runReduction(ctx, sim.PoolB(), "DC 1", 0.30, 0.05, 0.33, origTicks, redTicks, cfg.Seed+100)
 }
 
 // poolDRun backs Table III and Figures 10-11: a 10% reduction of the
 // routing pool for two days, with a 10% organic load shift.
-func poolDRun(cfg Config) (*reductionRun, error) {
+func poolDRun(ctx context.Context, cfg Config) (*reductionRun, error) {
 	origTicks, redTicks := 2*720, 2*720
 	if cfg.Fast {
 		origTicks, redTicks = 720, 720
 	}
-	return runReduction(sim.PoolD(), "DC 1", 0.10, 0.10, 0, origTicks, redTicks, cfg.Seed+200)
+	return runReduction(ctx, sim.PoolD(), "DC 1", 0.10, 0.10, 0, origTicks, redTicks, cfg.Seed+200)
 }
 
 // Table2 reproduces the paper's Table II (pool B, paper values: p95 376.8 ->
 // 540.3, +43%).
-func Table2(cfg Config) (*Result, error) {
-	run, err := poolBRun(cfg)
+func Table2(ctx context.Context, cfg Config) (*Result, error) {
+	run, err := poolBRun(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +143,8 @@ func Table2(cfg Config) (*Result, error) {
 }
 
 // Table3 reproduces Table III (pool D, paper: p95 77.7 -> 94.9, +22%).
-func Table3(cfg Config) (*Result, error) {
-	run, err := poolDRun(cfg)
+func Table3(ctx context.Context, cfg Config) (*Result, error) {
+	run, err := poolDRun(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -271,8 +272,8 @@ func abs(v float64) float64 {
 // Fig8 reproduces Figure 8. Paper: original fit y = 0.028x + 1.37
 // (R2 0.984), forecast 16.5% CPU at 540 RPS, measured 17.4% (the intercept
 // shifted with a deployment).
-func Fig8(cfg Config) (*Result, error) {
-	run, err := poolBRun(cfg)
+func Fig8(ctx context.Context, cfg Config) (*Result, error) {
+	run, err := poolBRun(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -289,8 +290,8 @@ func Fig8(cfg Config) (*Result, error) {
 
 // Fig9 reproduces Figure 9. Paper: quadratic 4.028e-5x^2 - 0.031x + 36.68,
 // forecast 31.5 ms vs measured 30.9 ms.
-func Fig9(cfg Config) (*Result, error) {
-	run, err := poolBRun(cfg)
+func Fig9(ctx context.Context, cfg Config) (*Result, error) {
+	run, err := poolBRun(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -306,8 +307,8 @@ func Fig9(cfg Config) (*Result, error) {
 
 // Fig10 reproduces Figure 10. Paper: y = 0.0916x + 5.006 (R2 0.940),
 // forecast 13.7% at 94.9 RPS, measured 13.3%.
-func Fig10(cfg Config) (*Result, error) {
-	run, err := poolDRun(cfg)
+func Fig10(ctx context.Context, cfg Config) (*Result, error) {
+	run, err := poolDRun(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -324,8 +325,8 @@ func Fig10(cfg Config) (*Result, error) {
 // Fig11 reproduces Figure 11 and the DC 4 replication. Paper: quadratic
 // 4.66e-3x^2 - 0.80x + 86.50 (R2 0.90), forecast 52.6 ms vs observed
 // 50.7 ms; the DC 4 replication shifted 59 -> 61 ms at +29% RPS.
-func Fig11(cfg Config) (*Result, error) {
-	run, err := poolDRun(cfg)
+func Fig11(ctx context.Context, cfg Config) (*Result, error) {
+	run, err := poolDRun(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +343,7 @@ func Fig11(cfg Config) (*Result, error) {
 	if cfg.Fast {
 		origTicks, redTicks = 720, 720
 	}
-	rep, err := runReduction(sim.PoolD(), "DC 4", 0.10, 0.17, 0, origTicks, redTicks, cfg.Seed+300)
+	rep, err := runReduction(ctx, sim.PoolD(), "DC 4", 0.10, 0.17, 0, origTicks, redTicks, cfg.Seed+300)
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +364,7 @@ func Fig11(cfg Config) (*Result, error) {
 
 // Fig7 reproduces the RSM iteration chart: successive reductions raise
 // latency until the 14 ms QoS limit is reached.
-func Fig7(cfg Config) (*Result, error) {
+func Fig7(ctx context.Context, cfg Config) (*Result, error) {
 	// A low-latency pool tuned so the QoS limit of 14 ms binds, like the
 	// paper's Figure 7 subject.
 	pool := sim.PoolConfig{
@@ -383,7 +384,7 @@ func Fig7(cfg Config) (*Result, error) {
 		observeTicks = 180
 	}
 	plant := &rsmPlant{pool: pool, seed: cfg.Seed + 400}
-	rsm, err := optimize.RunRSM(plant, optimize.RSMConfig{
+	rsm, err := optimize.RunRSM(ctx, plant, optimize.RSMConfig{
 		InitialServers: 200,
 		QoSLimitMs:     14,
 		StepFrac:       0.10,
@@ -422,7 +423,7 @@ type rsmPlant struct {
 	calls int
 }
 
-func (p *rsmPlant) Observe(servers, ticks int) ([]metrics.TickStat, error) {
+func (p *rsmPlant) Observe(ctx context.Context, servers, ticks int) ([]metrics.TickStat, error) {
 	p.calls++
 	dc := workload.Datacenter{Name: "DC 1", Weight: 1}
 	gen, err := workload.NewGenerator(p.pool.Traffic, []workload.Datacenter{dc}, nil,
@@ -438,7 +439,7 @@ func (p *rsmPlant) Observe(servers, ticks int) ([]metrics.TickStat, error) {
 		}
 		offered[t] = v * 0.16 // the DC 1 share of global traffic
 	}
-	recs, err := sim.SimulatePool(p.pool, dc.Name, offered, servers, p.seed+int64(p.calls))
+	recs, err := sim.SimulatePoolContext(ctx, p.pool, dc.Name, offered, servers, p.seed+int64(p.calls))
 	if err != nil {
 		return nil, err
 	}

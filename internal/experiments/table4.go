@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"headroom/internal/measure"
 	"headroom/internal/metrics"
 	"headroom/internal/optimize"
@@ -30,7 +31,7 @@ func table4Availability(name string) sim.AvailabilityProfile {
 // Table4 reproduces the savings summary across the seven largest pools.
 // Paper totals: 20% efficiency savings, ~5 ms average latency impact, 10%
 // online savings, 30% total.
-func Table4(cfg Config) (*Result, error) {
+func Table4(ctx context.Context, cfg Config) (*Result, error) {
 	pools := []sim.PoolConfig{
 		sim.PoolA(), sim.PoolB(), sim.PoolC(), sim.PoolD(), sim.PoolE(), sim.PoolF(), sim.PoolG(),
 	}
@@ -52,7 +53,7 @@ func Table4(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	agg := metrics.NewAggregator()
-	if err := s.Run(days*s.TicksPerDay(), func(r trace.Record) error { agg.Add(r); return nil }); err != nil {
+	if err := s.RunContext(ctx, days*s.TicksPerDay(), func(r trace.Record) error { agg.Add(r); return nil }); err != nil {
 		return nil, err
 	}
 
@@ -134,12 +135,12 @@ func Table4(cfg Config) (*Result, error) {
 // memory leak while accidentally introducing a high-load latency
 // regression, caught by the two-pool identical-workload harness before
 // deployment.
-func Fig16(cfg Config) (*Result, error) {
+func Fig16(ctx context.Context, cfg Config) (*Result, error) {
 	ticks := 30
 	if cfg.Fast {
 		ticks = 12
 	}
-	rep, err := validate.Run(validate.Config{
+	rep, err := validate.Run(ctx, validate.Config{
 		Pool:          sim.PoolB(),
 		Servers:       20,
 		Loads:         []float64{100, 180, 260, 340, 420, 500, 580},

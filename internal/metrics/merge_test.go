@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"headroom/internal/trace"
+)
+
+// randomStream builds a deterministic pseudo-random record stream spanning
+// several pools, datacenters, servers and ticks, with offline windows mixed
+// in — the shape a sharded aggregation has to reproduce exactly.
+func randomStream(seed int64, ticks int) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	pools := []string{"A", "B", "C"}
+	dcs := []string{"DC 1", "DC 2"}
+	var out []trace.Record
+	for tick := 0; tick < ticks; tick++ {
+		for _, pool := range pools {
+			for _, dc := range dcs {
+				for srv := 0; srv < 4; srv++ {
+					r := trace.Record{
+						Tick:       tick,
+						DC:         dc,
+						Pool:       pool,
+						Server:     fmt.Sprintf("%s-%s-%02d", pool, dc, srv),
+						Generation: "gen1",
+						Online:     rng.Float64() > 0.1,
+					}
+					if r.Online {
+						r.RPS = 100 + 50*rng.Float64()
+						r.CPUPct = 5 + 30*rng.Float64()
+						r.LatencyMs = 10 + 5*rng.Float64()
+						r.NetBytes = 1e6 * rng.Float64()
+						r.NetPkts = 1e3 * rng.Float64()
+						r.MemPages = 1e3 * rng.Float64()
+						r.DiskQueue = rng.Float64()
+						r.DiskRead = 1e5 * rng.Float64()
+						r.Errors = float64(rng.Intn(3))
+					}
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// shardByKey splits a stream into n shards, assigning every (pool, DC) key
+// to exactly one shard and preserving per-key record order — the contract
+// under which Merge must reproduce single-pass aggregation exactly.
+func shardByKey(recs []trace.Record, n int) [][]trace.Record {
+	keyShard := map[PoolKey]int{}
+	var keys []PoolKey
+	for _, r := range recs {
+		k := PoolKey{DC: r.DC, Pool: r.Pool}
+		if _, ok := keyShard[k]; !ok {
+			keyShard[k] = 0 // placeholder; assigned after sorting
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pool != keys[j].Pool {
+			return keys[i].Pool < keys[j].Pool
+		}
+		return keys[i].DC < keys[j].DC
+	})
+	for i, k := range keys {
+		keyShard[k] = i % n
+	}
+	shards := make([][]trace.Record, n)
+	for _, r := range recs {
+		i := keyShard[PoolKey{DC: r.DC, Pool: r.Pool}]
+		shards[i] = append(shards[i], r)
+	}
+	return shards
+}
+
+// aggregate runs single-pass aggregation.
+func aggregate(recs []trace.Record) *Aggregator {
+	agg := NewAggregator()
+	agg.AddAll(recs)
+	return agg
+}
+
+// TestMergeShardedIdentity is the sharding property: for any N, aggregating
+// key-disjoint shards independently and merging yields exactly the
+// single-pass pool series, server summaries and availability.
+func TestMergeShardedIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		recs := randomStream(seed, 30)
+		want := aggregate(recs)
+		for _, n := range []int{1, 2, 3, 4, 6, 16} {
+			shards := shardByKey(recs, n)
+			merged := NewAggregator()
+			for _, shard := range shards {
+				merged.Merge(aggregate(shard))
+			}
+			if got, want := merged.Pools(), want.Pools(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d shards %d: pools %v, want %v", seed, n, got, want)
+			}
+			for _, key := range want.Pools() {
+				ws, err := want.PoolSeries(key.DC, key.Pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gs, err := merged.PoolSeries(key.DC, key.Pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gs, ws) {
+					t.Errorf("seed %d shards %d: %s pool series differs from single pass", seed, n, key)
+				}
+				wsum, err := want.ServerSummaries(key.DC, key.Pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gsum, err := merged.ServerSummaries(key.DC, key.Pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gsum, wsum) {
+					t.Errorf("seed %d shards %d: %s server summaries differ from single pass", seed, n, key)
+				}
+				wav, err := want.PoolAvailability(key.DC, key.Pool, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gav, err := merged.PoolAvailability(key.DC, key.Pool, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gav, wav) {
+					t.Errorf("seed %d shards %d: %s availability differs from single pass", seed, n, key)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeSplitKey covers the overlapping case: a (pool, DC) key whose
+// records are split across shards still merges to the correct totals, with
+// sums equal up to floating-point reassociation and order-independent
+// statistics (percentiles) exact.
+func TestMergeSplitKey(t *testing.T) {
+	recs := randomStream(3, 20)
+	want := aggregate(recs)
+
+	// Contiguous halves: every key appears in both shards.
+	mid := len(recs) / 2
+	merged := aggregate(recs[:mid])
+	merged.Merge(aggregate(recs[mid:]))
+
+	for _, key := range want.Pools() {
+		ws, _ := want.PoolSeries(key.DC, key.Pool)
+		gs, err := merged.PoolSeries(key.DC, key.Pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gs) != len(ws) {
+			t.Fatalf("%s: %d ticks, want %d", key, len(gs), len(ws))
+		}
+		for i := range ws {
+			if gs[i].Servers != ws[i].Servers || gs[i].Tick != ws[i].Tick {
+				t.Fatalf("%s tick %d: servers %d, want %d", key, ws[i].Tick, gs[i].Servers, ws[i].Servers)
+			}
+			if !near(gs[i].TotalRPS, ws[i].TotalRPS) || !near(gs[i].CPUMean, ws[i].CPUMean) ||
+				!near(gs[i].LatencyMean, ws[i].LatencyMean) {
+				t.Errorf("%s tick %d: merged aggregates drifted beyond reassociation error", key, ws[i].Tick)
+			}
+		}
+		wsum, _ := want.ServerSummaries(key.DC, key.Pool)
+		gsum, err := merged.ServerSummaries(key.DC, key.Pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wsum {
+			if gsum[i].Windows != wsum[i].Windows || gsum[i].Availability != wsum[i].Availability {
+				t.Errorf("%s server %s: windows/availability differ", key, wsum[i].Server)
+			}
+			// Percentiles sort the merged samples, so they are exact even
+			// under a split key.
+			if gsum[i].CPU.P50 != wsum[i].CPU.P50 || gsum[i].CPU.P95 != wsum[i].CPU.P95 {
+				t.Errorf("%s server %s: percentiles differ under split-key merge", key, wsum[i].Server)
+			}
+		}
+	}
+}
+
+// TestMergeDisjointAndNil checks the trivial cases: merging into an empty
+// aggregator adopts the source wholesale, and nil is a no-op.
+func TestMergeDisjointAndNil(t *testing.T) {
+	recs := randomStream(5, 5)
+	want := aggregate(recs)
+	got := NewAggregator()
+	got.Merge(aggregate(recs))
+	got.Merge(nil)
+	if !reflect.DeepEqual(got.Pools(), want.Pools()) {
+		t.Fatalf("pools differ after adopt-merge")
+	}
+	for _, key := range want.Pools() {
+		ws, _ := want.PoolSeries(key.DC, key.Pool)
+		gs, _ := got.PoolSeries(key.DC, key.Pool)
+		if !reflect.DeepEqual(gs, ws) {
+			t.Errorf("%s: series differ after adopt-merge", key)
+		}
+	}
+}
+
+func near(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}

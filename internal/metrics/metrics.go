@@ -152,6 +152,55 @@ func (a *Aggregator) AddAll(rs []trace.Record) {
 	}
 }
 
+// Merge folds b's accumulated state into a, so record streams can be
+// aggregated in parallel shards and combined afterwards. b must not be used
+// after the call: a adopts b's internal accumulators where possible.
+//
+// When the shards partition the stream by (pool, datacenter) — each key's
+// records all land in one shard, in stream order — the merged aggregator is
+// identical to single-pass aggregation, bit for bit. Shards that split a
+// key across aggregators still merge correctly (sums of sums), but
+// floating-point addition order then differs from the single-pass result.
+func (a *Aggregator) Merge(b *Aggregator) {
+	if b == nil {
+		return
+	}
+	for key, pb := range b.pools {
+		pa, ok := a.pools[key]
+		if !ok {
+			a.pools[key] = pb
+			continue
+		}
+		for tick, tb := range pb.ticks {
+			ta, ok := pa.ticks[tick]
+			if !ok {
+				pa.ticks[tick] = tb
+				continue
+			}
+			ta.servers += tb.servers
+			ta.rps += tb.rps
+			ta.cpu += tb.cpu
+			ta.latency += tb.latency
+			ta.netBytes += tb.netBytes
+			ta.netPkts += tb.netPkts
+			ta.memPages += tb.memPages
+			ta.diskQueue += tb.diskQueue
+			ta.diskRead += tb.diskRead
+			ta.errs += tb.errs
+		}
+		for name, sb := range pb.servers {
+			sa, ok := pa.servers[name]
+			if !ok {
+				pa.servers[name] = sb
+				continue
+			}
+			sa.online += sb.online
+			sa.windows += sb.windows
+			sa.cpu = append(sa.cpu, sb.cpu...)
+		}
+	}
+}
+
 // Pools lists the observed pool keys in deterministic order.
 func (a *Aggregator) Pools() []PoolKey {
 	keys := make([]PoolKey, 0, len(a.pools))

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -14,8 +15,10 @@ import (
 // servers under supervision); in this reproduction it is the simulator.
 type Plant interface {
 	// Observe runs the pool with the given active server count for the
-	// given number of ticks and returns per-tick aggregates.
-	Observe(servers, ticks int) ([]metrics.TickStat, error)
+	// given number of ticks and returns per-tick aggregates. Observe should
+	// honour ctx and return ctx.Err() when the experiment is cancelled
+	// mid-observation.
+	Observe(ctx context.Context, servers, ticks int) ([]metrics.TickStat, error)
 }
 
 // RSMConfig controls the iterative reduction experiment of §II-B2
@@ -87,8 +90,9 @@ type RSMResult struct {
 // RunRSM executes the iterative server-reduction experiment: observe,
 // model (robust quadratic of latency vs per-server load pooled across
 // iterations), extrapolate along the gradient to the next candidate server
-// count, and stop when the forecast breaches the QoS limit.
-func RunRSM(plant Plant, cfg RSMConfig) (RSMResult, error) {
+// count, and stop when the forecast breaches the QoS limit. Cancellation is
+// checked before every iteration and passed down into the plant.
+func RunRSM(ctx context.Context, plant Plant, cfg RSMConfig) (RSMResult, error) {
 	if plant == nil {
 		return RSMResult{}, errors.New("optimize: nil plant")
 	}
@@ -108,7 +112,10 @@ func RunRSM(plant Plant, cfg RSMConfig) (RSMResult, error) {
 	)
 	res.FinalServers = servers
 	for it := 0; it < cfg.MaxIterations; it++ {
-		series, err := plant.Observe(servers, cfg.ObserveTicks)
+		if err := ctx.Err(); err != nil {
+			return RSMResult{}, err
+		}
+		series, err := plant.Observe(ctx, servers, cfg.ObserveTicks)
 		if err != nil {
 			return RSMResult{}, fmt.Errorf("optimize: iteration %d observe: %w", it, err)
 		}

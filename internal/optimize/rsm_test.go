@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -19,7 +20,7 @@ type quadPlant struct {
 	observes int
 }
 
-func (p *quadPlant) Observe(servers, ticks int) ([]metrics.TickStat, error) {
+func (p *quadPlant) Observe(_ context.Context, servers, ticks int) ([]metrics.TickStat, error) {
 	p.observes++
 	out := make([]metrics.TickStat, ticks)
 	for i := range out {
@@ -46,7 +47,7 @@ func TestRunRSMStopsAtQoSLimit(t *testing.T) {
 		noise:    0.15,
 		rng:      rand.New(rand.NewSource(1)),
 	}
-	res, err := RunRSM(plant, RSMConfig{
+	res, err := RunRSM(context.Background(), plant, RSMConfig{
 		InitialServers: 200,
 		QoSLimitMs:     14,
 		StepFrac:       0.10,
@@ -90,7 +91,7 @@ func TestRunRSMMaxIterations(t *testing.T) {
 		noise:    0.05,
 		rng:      rand.New(rand.NewSource(3)),
 	}
-	res, err := RunRSM(plant, RSMConfig{
+	res, err := RunRSM(context.Background(), plant, RSMConfig{
 		InitialServers: 100,
 		QoSLimitMs:     100,
 		StepFrac:       0.10,
@@ -114,22 +115,34 @@ func TestRunRSMMaxIterations(t *testing.T) {
 
 type errPlant struct{}
 
-func (errPlant) Observe(int, int) ([]metrics.TickStat, error) {
+func (errPlant) Observe(context.Context, int, int) ([]metrics.TickStat, error) {
 	return nil, errors.New("boom")
 }
 
 func TestRunRSMErrors(t *testing.T) {
-	if _, err := RunRSM(nil, RSMConfig{InitialServers: 10, QoSLimitMs: 10}); err == nil {
+	if _, err := RunRSM(context.Background(), nil, RSMConfig{InitialServers: 10, QoSLimitMs: 10}); err == nil {
 		t.Error("nil plant should error")
 	}
-	if _, err := RunRSM(errPlant{}, RSMConfig{InitialServers: 10, QoSLimitMs: 10}); err == nil {
+	if _, err := RunRSM(context.Background(), errPlant{}, RSMConfig{InitialServers: 10, QoSLimitMs: 10}); err == nil {
 		t.Error("plant failure should propagate")
 	}
 	p := &quadPlant{totalRPS: 100, lat: stats.Polynomial{Coeffs: []float64{1}}, rng: rand.New(rand.NewSource(1))}
-	if _, err := RunRSM(p, RSMConfig{InitialServers: 1, QoSLimitMs: 10}); err == nil {
+	if _, err := RunRSM(context.Background(), p, RSMConfig{InitialServers: 1, QoSLimitMs: 10}); err == nil {
 		t.Error("single server should error")
 	}
-	if _, err := RunRSM(p, RSMConfig{InitialServers: 10, QoSLimitMs: 0}); err == nil {
+	if _, err := RunRSM(context.Background(), p, RSMConfig{InitialServers: 10, QoSLimitMs: 0}); err == nil {
 		t.Error("zero QoS limit should error")
+	}
+}
+
+func TestRunRSMCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &quadPlant{totalRPS: 1000, lat: stats.Polynomial{Coeffs: []float64{5}}, rng: rand.New(rand.NewSource(1))}
+	if _, err := RunRSM(ctx, p, RSMConfig{InitialServers: 10, QoSLimitMs: 10}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if p.observes != 0 {
+		t.Errorf("cancelled run still observed %d times", p.observes)
 	}
 }

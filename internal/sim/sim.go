@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -198,6 +199,13 @@ func (s *Simulator) TicksPerDay() int { return s.ticksPerDay }
 // through emit. Emission order is deterministic: tick, then pool
 // (configuration order), then datacenter (configuration order), then server.
 func (s *Simulator) Run(ticks int, emit func(trace.Record) error) error {
+	return s.RunContext(context.Background(), ticks, emit)
+}
+
+// RunContext is Run with cancellation: it checks ctx at every pool-DC step
+// and returns ctx.Err() as soon as the context is done, leaving the
+// simulator's remaining timeline unevaluated.
+func (s *Simulator) RunContext(ctx context.Context, ticks int, emit func(trace.Record) error) error {
 	if ticks <= 0 {
 		return fmt.Errorf("sim: non-positive tick count %d", ticks)
 	}
@@ -209,6 +217,9 @@ func (s *Simulator) Run(ticks int, emit func(trace.Record) error) error {
 			for di, st := range ps.perDC {
 				if st == nil {
 					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return err
 				}
 				if err := s.stepPoolDC(ps, st, di, tick, emit); err != nil {
 					return err
@@ -423,6 +434,12 @@ func clamp(v, lo, hi float64) float64 {
 // (step 3) and offline-validation (step 4) stages, where the operator drives
 // load precisely instead of receiving organic traffic.
 func SimulatePool(pc PoolConfig, dcName string, offered []float64, servers int, seed int64) ([]trace.Record, error) {
+	return SimulatePoolContext(context.Background(), pc, dcName, offered, servers, seed)
+}
+
+// SimulatePoolContext is SimulatePool with cancellation, checked once per
+// tick.
+func SimulatePoolContext(ctx context.Context, pc PoolConfig, dcName string, offered []float64, servers int, seed int64) ([]trace.Record, error) {
 	if servers <= 0 {
 		return nil, fmt.Errorf("sim: non-positive server count %d", servers)
 	}
@@ -443,6 +460,9 @@ func SimulatePool(pc PoolConfig, dcName string, offered []float64, servers int, 
 	sim := &Simulator{tick: workload.TickDuration, ticksPerDay: ticksPerDay}
 	var out []trace.Record
 	for tick, load := range offered {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if load < 0 {
 			return nil, fmt.Errorf("sim: negative offered load %v at tick %d", load, tick)
 		}

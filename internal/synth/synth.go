@@ -11,6 +11,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -79,6 +80,11 @@ func BuildProfile(series []metrics.TickStat, mix workload.Mix, servers, levels i
 // trace records. ticksPerLevel repeats each load step to accumulate
 // statistics.
 func Replay(pc sim.PoolConfig, p Profile, ticksPerLevel int, seed int64) ([]trace.Record, error) {
+	return ReplayContext(context.Background(), pc, p, ticksPerLevel, seed)
+}
+
+// ReplayContext is Replay with cancellation, checked per simulated tick.
+func ReplayContext(ctx context.Context, pc sim.PoolConfig, p Profile, ticksPerLevel int, seed int64) ([]trace.Record, error) {
 	if ticksPerLevel <= 0 {
 		return nil, fmt.Errorf("synth: non-positive ticks per level %d", ticksPerLevel)
 	}
@@ -91,7 +97,7 @@ func Replay(pc sim.PoolConfig, p Profile, ticksPerLevel int, seed int64) ([]trac
 			series = append(series, load)
 		}
 	}
-	return sim.SimulatePool(pc, "offline", series, p.Servers, seed)
+	return sim.SimulatePoolContext(ctx, pc, "offline", series, p.Servers, seed)
 }
 
 // Equivalence reports whether the synthetic response matches production —

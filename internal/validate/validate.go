@@ -13,6 +13,7 @@
 package validate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -104,8 +105,9 @@ type Report struct {
 	Acceptable bool
 }
 
-// Run executes the A/B comparison.
-func Run(cfg Config, change Change) (Report, error) {
+// Run executes the A/B comparison. Cancellation is checked throughout both
+// simulated runs; a cancelled ctx returns ctx.Err().
+func Run(ctx context.Context, cfg Config, change Change) (Report, error) {
 	cfg = cfg.withDefaults()
 	if change.Apply == nil {
 		return Report{}, errors.New("validate: change with nil Apply")
@@ -136,11 +138,11 @@ func Run(cfg Config, change Change) (Report, error) {
 		return Report{}, fmt.Errorf("validate: changed response invalid: %w", err)
 	}
 
-	baseRecs, err := sim.SimulatePool(baselinePool, "offline-a", offered, cfg.Servers, cfg.Seed)
+	baseRecs, err := sim.SimulatePoolContext(ctx, baselinePool, "offline-a", offered, cfg.Servers, cfg.Seed)
 	if err != nil {
 		return Report{}, fmt.Errorf("validate: baseline run: %w", err)
 	}
-	changeRecs, err := sim.SimulatePool(changedPool, "offline-b", offered, cfg.Servers, cfg.Seed+1)
+	changeRecs, err := sim.SimulatePoolContext(ctx, changedPool, "offline-b", offered, cfg.Servers, cfg.Seed+1)
 	if err != nil {
 		return Report{}, fmt.Errorf("validate: change run: %w", err)
 	}

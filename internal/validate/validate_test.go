@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"testing"
 
 	"headroom/internal/sim"
@@ -32,7 +33,7 @@ func defaultCfg(seed int64) Config {
 }
 
 func TestRunCatchesLatencyRegression(t *testing.T) {
-	rep, err := Run(defaultCfg(1), Change{Name: "fix-leak-v1", Apply: memLeakFixWithLatencyBug})
+	rep, err := Run(context.Background(), defaultCfg(1), Change{Name: "fix-leak-v1", Apply: memLeakFixWithLatencyBug})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -62,7 +63,7 @@ func TestRunCatchesLatencyRegression(t *testing.T) {
 }
 
 func TestRunAcceptsCleanChange(t *testing.T) {
-	rep, err := Run(defaultCfg(2), Change{Name: "fix-leak-v2", Apply: cleanImprovement})
+	rep, err := Run(context.Background(), defaultCfg(2), Change{Name: "fix-leak-v2", Apply: cleanImprovement})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -85,7 +86,7 @@ func TestRunDetectsCapacityIncrease(t *testing.T) {
 		rp.CPUSlope *= 1.3 // feature needs 30% more CPU per request
 		return rp
 	}
-	rep, err := Run(defaultCfg(3), Change{Name: "heavy-feature", Apply: costly})
+	rep, err := Run(context.Background(), defaultCfg(3), Change{Name: "heavy-feature", Apply: costly})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -99,39 +100,39 @@ func TestRunDetectsCapacityIncrease(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cfg := defaultCfg(4)
-	if _, err := Run(cfg, Change{Name: "nil"}); err == nil {
+	if _, err := Run(context.Background(), cfg, Change{Name: "nil"}); err == nil {
 		t.Error("nil Apply should error")
 	}
 	bad := cfg
 	bad.Servers = 0
-	if _, err := Run(bad, Change{Name: "x", Apply: cleanImprovement}); err == nil {
+	if _, err := Run(context.Background(), bad, Change{Name: "x", Apply: cleanImprovement}); err == nil {
 		t.Error("zero servers should error")
 	}
 	bad = cfg
 	bad.Loads = []float64{100}
-	if _, err := Run(bad, Change{Name: "x", Apply: cleanImprovement}); err == nil {
+	if _, err := Run(context.Background(), bad, Change{Name: "x", Apply: cleanImprovement}); err == nil {
 		t.Error("single load should error")
 	}
 	bad = cfg
 	bad.Loads = []float64{200, 100}
-	if _, err := Run(bad, Change{Name: "x", Apply: cleanImprovement}); err == nil {
+	if _, err := Run(context.Background(), bad, Change{Name: "x", Apply: cleanImprovement}); err == nil {
 		t.Error("non-ascending loads should error")
 	}
 	invalid := func(rp sim.ResponseParams) sim.ResponseParams {
 		rp.CPUSlope = -1
 		return rp
 	}
-	if _, err := Run(cfg, Change{Name: "bad", Apply: invalid}); err == nil {
+	if _, err := Run(context.Background(), cfg, Change{Name: "bad", Apply: invalid}); err == nil {
 		t.Error("invalid changed response should error")
 	}
 }
 
 func TestRunDeterminism(t *testing.T) {
-	a, err := Run(defaultCfg(5), Change{Name: "v", Apply: cleanImprovement})
+	a, err := Run(context.Background(), defaultCfg(5), Change{Name: "v", Apply: cleanImprovement})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(defaultCfg(5), Change{Name: "v", Apply: cleanImprovement})
+	b, err := Run(context.Background(), defaultCfg(5), Change{Name: "v", Apply: cleanImprovement})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,345 @@
+package headroom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"headroom/internal/core"
+	"headroom/internal/experiments"
+	"headroom/internal/forecast"
+	"headroom/internal/metrics"
+	"headroom/internal/optimize"
+	"headroom/internal/validate"
+)
+
+// Session is the configured entry point to the capacity-planning pipeline.
+// A session carries the pieces every step shares — the record source, the
+// shard count for parallel aggregation, the planning configuration and a
+// base context bounding the session's lifetime — so the individual steps
+// (Simulate, Plan, RunRSM, Validate, Forecast) stay single-purpose.
+//
+// Construct with New and functional options:
+//
+//	s, err := headroom.New(ctx,
+//		headroom.WithFleet(cfg),
+//		headroom.WithShards(8),
+//	)
+//	agg, err := s.Simulate(ctx, 1)
+//	plans, err := s.Plan(ctx, agg)
+//
+// Every method takes a context.Context and returns promptly with ctx.Err()
+// when it is cancelled; cancelling the context passed to New cancels every
+// operation of the session.
+//
+// A Session is safe for concurrent use: its configuration is immutable after
+// New.
+type Session struct {
+	base     context.Context
+	fleet    FleetConfig
+	hasFleet bool
+	source   Source
+	shards   int
+	plan     PlanConfig
+	seed     int64
+}
+
+// Option configures a Session under construction.
+type Option func(*Session) error
+
+// WithFleet sets the fleet the session simulates. The configuration is
+// validated by New.
+func WithFleet(cfg FleetConfig) Option {
+	return func(s *Session) error {
+		s.fleet = cfg
+		s.hasFleet = true
+		return nil
+	}
+}
+
+// WithShards fixes the number of parallel shards used when aggregating a
+// shardable source. n = 1 forces sequential aggregation; the default (no
+// option, or n = 0) uses one shard per available CPU. Shard count never
+// changes results: per-pool seeding makes sharded aggregation bit-identical
+// to sequential.
+func WithShards(n int) Option {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("headroom: negative shard count %d", n)
+		}
+		s.shards = n
+		return nil
+	}
+}
+
+// WithSource sets the session's record source, replacing the fleet
+// simulator: a synthetic replay, an in-memory trace, or any custom
+// implementation. Pipeline steps that consume records read from it.
+func WithSource(src Source) Option {
+	return func(s *Session) error {
+		if src == nil {
+			return errors.New("headroom: WithSource(nil)")
+		}
+		s.source = src
+		return nil
+	}
+}
+
+// WithPlanConfig sets the planning configuration used by Plan. Zero fields
+// keep their documented defaults.
+func WithPlanConfig(cfg PlanConfig) Option {
+	return func(s *Session) error {
+		s.plan = cfg
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving experiment regeneration (RunExperiment).
+// The fleet's own seed lives in FleetConfig.Seed. Defaults to 1.
+func WithSeed(seed int64) Option {
+	return func(s *Session) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// New builds a Session. ctx bounds the session's lifetime: cancelling it
+// cancels every in-flight and future operation on the session, in addition
+// to the per-call contexts the methods take.
+func New(ctx context.Context, opts ...Option) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{base: ctx, seed: 1}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if s.hasFleet {
+		if err := s.fleet.Validate(); err != nil {
+			return nil, fmt.Errorf("headroom: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// opCtx merges a per-call context with the session's base context so that
+// cancelling either one cancels the operation. The returned stop function
+// must be called when the operation completes.
+func (s *Session) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.base.Done() == nil {
+		// The base context can never be cancelled; nothing to merge.
+		return ctx, func() {}
+	}
+	merged, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(s.base, cancel)
+	return merged, func() {
+		stop()
+		cancel()
+	}
+}
+
+// shardCount resolves the configured shard count.
+func (s *Session) shardCount() int {
+	if s.shards > 0 {
+		return s.shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Simulate runs the session's record source to completion and returns the
+// aggregated observations — Step 0 of the methodology, the measurement the
+// planner consumes.
+//
+// Without WithSource, the session's fleet is simulated for the given number
+// of days with the scheduled actions (reduction experiments, deployments).
+// With WithSource, the configured source is streamed instead, and days and
+// actions must be zero: they parameterise the simulator only.
+//
+// Aggregation is sharded across goroutines when the source supports it (the
+// fleet simulator shards per pool); the result is bit-identical to a
+// sequential pass for the same seed.
+func (s *Session) Simulate(ctx context.Context, days int, actions ...Action) (*Aggregator, error) {
+	if s.source != nil {
+		if days != 0 || len(actions) != 0 {
+			return nil, errors.New("headroom: days and actions configure the fleet simulator; this session streams a custom source")
+		}
+		return s.Aggregate(ctx, s.source)
+	}
+	if !s.hasFleet {
+		return nil, errNoSource
+	}
+	return s.Aggregate(ctx, NewSimSource(s.fleet, days, actions...))
+}
+
+// Aggregate consumes a record source into an Aggregator, sharding across
+// goroutines when the source implements ShardedSource and the session's
+// shard count allows. A nil src uses the session's configured source.
+func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error) {
+	if src == nil {
+		src = s.source
+	}
+	if src == nil {
+		return nil, errNoSource
+	}
+	ctx, done := s.opCtx(ctx)
+	defer done()
+
+	var subs []Source
+	if sh, ok := src.(ShardedSource); ok {
+		if n := s.shardCount(); n > 1 {
+			subs = sh.Shards(n)
+		}
+	}
+	if len(subs) <= 1 {
+		agg := metrics.NewAggregator()
+		if err := src.Stream(ctx, func(r Record) error { agg.Add(r); return nil }); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	}
+
+	// One goroutine and one private aggregator per shard; merge in shard
+	// order afterwards. Shards own disjoint (pool, datacenter) keys, so the
+	// merged aggregator is bit-identical to a single sequential pass.
+	aggs := make([]*Aggregator, len(subs))
+	errs := make([]error, len(subs))
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub Source) {
+			defer wg.Done()
+			agg := metrics.NewAggregator()
+			if err := sub.Stream(wctx, func(r Record) error { agg.Add(r); return nil }); err != nil {
+				errs[i] = err
+				cancel() // fail fast: stop sibling shards
+				return
+			}
+			aggs[i] = agg
+		}(i, sub)
+	}
+	wg.Wait()
+
+	var failure error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Prefer a concrete cause over the cascade cancellations it
+		// triggered in sibling shards.
+		if failure == nil || (errors.Is(failure, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			failure = err
+		}
+	}
+	if failure != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, failure
+	}
+	out := aggs[0]
+	for _, a := range aggs[1:] {
+		out.Merge(a)
+	}
+	return out, nil
+}
+
+// Stream streams a record source sequentially through emit, for workloads
+// too large to aggregate in one pass or for writing traces to disk. A nil
+// src uses the session's configured source.
+func (s *Session) Stream(ctx context.Context, src Source, emit func(Record) error) error {
+	if src == nil {
+		src = s.source
+	}
+	if src == nil {
+		return errNoSource
+	}
+	ctx, done := s.opCtx(ctx)
+	defer done()
+	return src.Stream(ctx, emit)
+}
+
+// Plan runs Steps 1-2 of the methodology over aggregated observations:
+// metric validation (with refinement), server grouping, model fitting, and
+// right-sizing each pool within the latency budget configured via
+// WithPlanConfig.
+func (s *Session) Plan(ctx context.Context, agg *Aggregator) ([]PoolPlan, error) {
+	ctx, done := s.opCtx(ctx)
+	defer done()
+	return core.Plan(ctx, agg, s.plan)
+}
+
+// RunRSM executes the iterative server-reduction experiment of §II-B2
+// against a plant, stopping at the QoS limit. Cancellation propagates into
+// the plant's observations.
+func (s *Session) RunRSM(ctx context.Context, plant Plant, cfg RSMConfig) (RSMResult, error) {
+	ctx, done := s.opCtx(ctx)
+	defer done()
+	return optimize.RunRSM(ctx, plant, cfg)
+}
+
+// Validate runs the offline A/B regression harness of §II-D: two identical
+// pools, identical synthetic workload sweeps, one with the change.
+func (s *Session) Validate(ctx context.Context, cfg ValidateConfig, change Change) (ValidateReport, error) {
+	ctx, done := s.opCtx(ctx)
+	defer done()
+	return validate.Run(ctx, cfg, change)
+}
+
+// Forecast fits a trend + daily-seasonality model to an offered-load
+// series, the workload-trend input capacity planners combine with QoS
+// requirements (§II).
+func (s *Session) Forecast(ctx context.Context, series []float64, ticksPerDay int) (ForecastModel, error) {
+	ctx, done := s.opCtx(ctx)
+	defer done()
+	if err := ctx.Err(); err != nil {
+		return ForecastModel{}, err
+	}
+	return forecast.Fit(series, ticksPerDay)
+}
+
+// ExperimentResult is a regenerated paper table or figure.
+type ExperimentResult = experiments.Result
+
+// ExperimentInfo identifies a registered paper artifact.
+type ExperimentInfo struct {
+	ID    string
+	Title string
+}
+
+// Experiments lists the registered paper artifacts (tables, figures,
+// ablations) in paper order.
+func Experiments() []ExperimentInfo {
+	out := make([]ExperimentInfo, 0, len(experiments.Registry))
+	for _, e := range experiments.Registry {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper artifact by ID ("fig9", "table4",
+// ...), driven by the session's seed (WithSeed). fast shortens observation
+// horizons for tests and smoke runs.
+func (s *Session) RunExperiment(ctx context.Context, id string, fast bool) (*ExperimentResult, error) {
+	ctx, done := s.opCtx(ctx)
+	defer done()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run(ctx, experiments.Config{Seed: s.seed, Fast: fast})
+}
