@@ -141,17 +141,25 @@ func BenchmarkSimulateSharded(b *testing.B) { benchSimulate(b, 0) }
 // BenchmarkPlanPipeline measures the full Steps 1-2 pipeline over a day of
 // pool B observations.
 func BenchmarkPlanPipeline(b *testing.B) {
-	agg, err := headroom.Simulate(headroom.FleetConfig{
-		DCs:   headroom.NineRegions(),
-		Pools: []headroom.PoolConfig{headroom.PoolB()},
-		Seed:  1,
-	}, 1)
+	ctx := context.Background()
+	s, err := headroom.New(ctx,
+		headroom.WithFleet(headroom.FleetConfig{
+			DCs:   headroom.NineRegions(),
+			Pools: []headroom.PoolConfig{headroom.PoolB()},
+			Seed:  1,
+		}),
+		headroom.WithPlanConfig(headroom.PlanConfig{Seed: 2}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, err := s.Simulate(ctx, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := headroom.Plan(agg, headroom.PlanConfig{Seed: 2}); err != nil {
+		if _, err := s.Plan(ctx, agg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -44,8 +44,21 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Invalid flag values print usage and exit non-zero instead of
+	// proceeding with a garbage configuration.
+	fail := func(format string, v ...any) error {
+		fmt.Fprintf(fs.Output(), format+"\n\n", v...)
+		fs.Usage()
+		return fmt.Errorf(format, v...)
+	}
 	if *in == "" {
-		return fmt.Errorf("missing -in trace file")
+		return fail("missing -in trace file")
+	}
+	if *budget <= 0 {
+		return fail("budget must be positive milliseconds, got %v", *budget)
+	}
+	if *shards < 0 {
+		return fail("shards must be >= 0 (0 = one per CPU), got %d", *shards)
 	}
 	f, err := os.Open(*in)
 	if err != nil {

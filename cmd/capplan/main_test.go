@@ -1,0 +1,22 @@
+package main
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+func TestRejectsInvalidFlags(t *testing.T) {
+	cases := [][]string{
+		{}, // missing -in
+		{"-in", "t.csv", "-budget", "0"},
+		{"-in", "t.csv", "-budget", "-3"},
+		{"-in", "t.csv", "-shards", "-1"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, os.Stdout); err == nil {
+			t.Errorf("run(%v) succeeded, want usage error", args)
+		}
+	}
+}

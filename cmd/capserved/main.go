@@ -1,0 +1,104 @@
+// Command capserved is the long-running capacity-planning service: it
+// exposes the pipeline the one-shot CLIs (capsim, capplan) drive — fleet
+// simulation, planning, offline A/B validation and workload forecasting —
+// as an HTTP/JSON job API with a bounded worker pool and a keyed result
+// cache, so operators can submit what-if plans against a shared deployment
+// and identical queries cost one simulation.
+//
+// Usage:
+//
+//	capserved -addr :8080
+//	capserved -addr :8080 -workers 8 -cache 256 -job-timeout 10m
+//
+// Endpoints: POST /v1/{simulate,plan,validate,forecast}, GET /v1/jobs/{id},
+// GET /healthz, GET /metrics (Prometheus text format). See the README's
+// "Running the server" section for request examples.
+//
+// SIGTERM or SIGINT drains gracefully: the listener closes, in-flight
+// requests and queued jobs finish (bounded by -drain-timeout), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"headroom/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "capserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until ctx is cancelled and the drain
+// completes. When ready is non-nil it receives the bound address once the
+// listener is up (used by the e2e test to learn the ephemeral port).
+func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("capserved", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		workers      = fs.Int("workers", 0, "job worker-pool size (0 = one per CPU)")
+		queueDepth   = fs.Int("queue", 0, "pending job queue depth (0 = 4x workers)")
+		cacheSize    = fs.Int("cache", 128, "result cache capacity (number of results)")
+		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown window")
+		shards       = fs.Int("shards", 0, "aggregation shards per job (0 = one per CPU)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fail := func(format string, v ...any) error {
+		fmt.Fprintf(fs.Output(), format+"\n\n", v...)
+		fs.Usage()
+		return fmt.Errorf(format, v...)
+	}
+	if *workers < 0 {
+		return fail("workers must be >= 0, got %d", *workers)
+	}
+	if *queueDepth < 0 {
+		return fail("queue must be >= 0, got %d", *queueDepth)
+	}
+	if *cacheSize < 1 {
+		return fail("cache must be >= 1, got %d", *cacheSize)
+	}
+	if *jobTimeout <= 0 {
+		return fail("job-timeout must be positive, got %s", *jobTimeout)
+	}
+	if *drainTimeout <= 0 {
+		return fail("drain-timeout must be positive, got %s", *drainTimeout)
+	}
+	if *shards < 0 {
+		return fail("shards must be >= 0, got %d", *shards)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen on %s: %w", *addr, err)
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheSize:    *cacheSize,
+		JobTimeout:   *jobTimeout,
+		DrainTimeout: *drainTimeout,
+		Shards:       *shards,
+		Logf:         log.New(os.Stderr, "", log.LstdFlags).Printf,
+	})
+	return srv.Serve(ctx, ln)
+}

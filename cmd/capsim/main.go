@@ -43,8 +43,18 @@ func run(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Invalid flag values print usage and exit non-zero instead of
+	// proceeding with a garbage configuration.
+	fail := func(format string, v ...any) error {
+		fmt.Fprintf(fs.Output(), format+"\n\n", v...)
+		fs.Usage()
+		return fmt.Errorf(format, v...)
+	}
 	if *days <= 0 {
-		return fmt.Errorf("days must be positive, got %d", *days)
+		return fail("days must be positive, got %d", *days)
+	}
+	if *format != "csv" && *format != "jsonl" {
+		return fail("unknown format %q (want csv or jsonl)", *format)
 	}
 
 	cfg := headroom.DefaultFleet(*seed)

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRejectsInvalidFlags(t *testing.T) {
+	cases := [][]string{
+		{"-days", "-1"},
+		{"-days", "0"},
+		{"-format", "xml"},
+		{"-pools", "no-such-pool"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(%v) succeeded, want usage error", args)
+		}
+	}
+}

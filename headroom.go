@@ -22,13 +22,11 @@
 // Paper tables and figures are regenerated through Session.RunExperiment /
 // Experiments; `go test -bench .` runs one benchmark per artifact.
 //
-// The package-level free functions mirror the Session methods for
-// compatibility with earlier versions; they are deprecated.
+// cmd/capserved serves the same pipeline as a long-running HTTP/JSON job
+// API with a bounded worker pool and a keyed result cache.
 package headroom
 
 import (
-	"context"
-
 	"headroom/internal/core"
 	"headroom/internal/forecast"
 	"headroom/internal/metrics"
@@ -110,72 +108,19 @@ func PoolD() PoolConfig { return sim.PoolD() }
 // NineRegions returns the nine-datacenter global topology.
 func NineRegions() []Datacenter { return workload.NineRegions() }
 
+// NamedPool returns the configured pool with the given name from a fleet,
+// or an error naming the missing pool. Services that accept pool names on
+// the wire (cmd/capserved) resolve them through this lookup.
+func NamedPool(cfg FleetConfig, name string) (PoolConfig, error) {
+	return sim.NamedPool(cfg, name)
+}
+
 // BuildProfile derives a synthetic workload profile from production pool
 // history: a load sweep covering the observed per-server range (plus
 // extendFrac stretch beyond the p99 for stress testing) at a controlled
 // offline pool size. Replay it with NewSynthSource.
 func BuildProfile(series []metrics.TickStat, mix workload.Mix, servers, levels int, extendFrac float64) (Profile, error) {
 	return synth.BuildProfile(series, mix, servers, levels, extendFrac)
-}
-
-// Simulate runs a fleet for the given number of days and returns the
-// aggregated observations.
-//
-// Deprecated: use New and Session.Simulate, which add cancellation, pluggable
-// sources and sharded aggregation.
-func Simulate(cfg FleetConfig, days int, actions ...Action) (*Aggregator, error) {
-	s, err := New(context.Background(), WithFleet(cfg))
-	if err != nil {
-		return nil, err
-	}
-	return s.Simulate(context.Background(), days, actions...)
-}
-
-// SimulateStream runs a fleet and streams every record through emit,
-// for workloads too large to aggregate in one pass.
-//
-// Deprecated: use New and Session.Stream with NewSimSource.
-func SimulateStream(cfg FleetConfig, days int, emit func(Record) error, actions ...Action) error {
-	s, err := New(context.Background(), WithFleet(cfg))
-	if err != nil {
-		return err
-	}
-	return s.Stream(context.Background(), NewSimSource(cfg, days, actions...), emit)
-}
-
-// Plan runs Steps 1-2 of the methodology over aggregated observations.
-//
-// Deprecated: use New with WithPlanConfig and Session.Plan.
-func Plan(agg *Aggregator, cfg PlanConfig) ([]PoolPlan, error) {
-	s, err := New(context.Background(), WithPlanConfig(cfg))
-	if err != nil {
-		return nil, err
-	}
-	return s.Plan(context.Background(), agg)
-}
-
-// RunRSM executes the iterative server-reduction experiment of §II-B2
-// against a plant, stopping at the QoS limit.
-//
-// Deprecated: use New and Session.RunRSM, which propagate cancellation into
-// the plant.
-func RunRSM(plant Plant, cfg RSMConfig) (RSMResult, error) {
-	s, err := New(context.Background())
-	if err != nil {
-		return RSMResult{}, err
-	}
-	return s.RunRSM(context.Background(), plant, cfg)
-}
-
-// ValidateChange runs the offline A/B regression harness of §II-D.
-//
-// Deprecated: use New and Session.Validate.
-func ValidateChange(cfg ValidateConfig, change Change) (ValidateReport, error) {
-	s, err := New(context.Background())
-	if err != nil {
-		return ValidateReport{}, err
-	}
-	return s.Validate(context.Background(), cfg, change)
 }
 
 // TypicalSLO returns the SLO set the paper describes as typical for large
@@ -188,18 +133,6 @@ func TypicalSLO(service string, latencyMs float64) SLOSet {
 // its QoS requirement.
 func EvaluateSLO(set SLOSet, series []metrics.TickStat, meanAvailability float64) (SLOReport, error) {
 	return slo.Evaluate(set, series, meanAvailability)
-}
-
-// ForecastWorkload fits a trend + daily-seasonality model to an offered-load
-// series.
-//
-// Deprecated: use New and Session.Forecast.
-func ForecastWorkload(series []float64, ticksPerDay int) (ForecastModel, error) {
-	s, err := New(context.Background())
-	if err != nil {
-		return ForecastModel{}, err
-	}
-	return s.Forecast(context.Background(), series, ticksPerDay)
 }
 
 // FitPoolModel fits the workload models (linear CPU, quadratic latency)

@@ -1,23 +1,32 @@
 package headroom_test
 
 import (
+	"context"
 	"testing"
 
 	"headroom"
 )
 
 func TestFacadeEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	cfg := headroom.FleetConfig{
 		DCs:               headroom.NineRegions(),
 		Pools:             []headroom.PoolConfig{headroom.PoolB()},
 		WorkloadNoiseFrac: 0.03,
 		Seed:              1,
 	}
-	agg, err := headroom.Simulate(cfg, 1)
+	s, err := headroom.New(ctx,
+		headroom.WithFleet(cfg),
+		headroom.WithPlanConfig(headroom.PlanConfig{LatencyBudgetMs: 5, Seed: 2}),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	agg, err := s.Simulate(ctx, 1)
 	if err != nil {
 		t.Fatalf("Simulate: %v", err)
 	}
-	plans, err := headroom.Plan(agg, headroom.PlanConfig{LatencyBudgetMs: 5, Seed: 2})
+	plans, err := s.Plan(ctx, agg)
 	if err != nil {
 		t.Fatalf("Plan: %v", err)
 	}
@@ -34,18 +43,23 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
-func TestFacadeSimulateStream(t *testing.T) {
+func TestFacadeStream(t *testing.T) {
+	ctx := context.Background()
 	cfg := headroom.FleetConfig{
 		DCs:   headroom.NineRegions(),
 		Pools: []headroom.PoolConfig{headroom.PoolD()},
 		Seed:  3,
 	}
+	s, err := headroom.New(ctx, headroom.WithFleet(cfg))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	var n int
-	if err := headroom.SimulateStream(cfg, 1, func(headroom.Record) error {
+	if err := s.Stream(ctx, headroom.NewSimSource(cfg, 1), func(headroom.Record) error {
 		n++
 		return nil
 	}); err != nil {
-		t.Fatalf("SimulateStream: %v", err)
+		t.Fatalf("Stream: %v", err)
 	}
 	// 960 pool-D servers x 720 windows.
 	if n != 960*720 {
@@ -53,8 +67,13 @@ func TestFacadeSimulateStream(t *testing.T) {
 	}
 }
 
-func TestFacadeValidateChange(t *testing.T) {
-	rep, err := headroom.ValidateChange(headroom.ValidateConfig{
+func TestFacadeValidate(t *testing.T) {
+	ctx := context.Background()
+	s, err := headroom.New(ctx)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Validate(ctx, headroom.ValidateConfig{
 		Pool:          headroom.PoolB(),
 		Servers:       10,
 		Loads:         []float64{100, 300, 500},
@@ -67,7 +86,7 @@ func TestFacadeValidateChange(t *testing.T) {
 		},
 	})
 	if err != nil {
-		t.Fatalf("ValidateChange: %v", err)
+		t.Fatalf("Validate: %v", err)
 	}
 	if rep.LatencyRegression {
 		t.Error("no-op change should not regress")
@@ -78,12 +97,17 @@ func TestFacadeValidateChange(t *testing.T) {
 }
 
 func TestFacadeRSM(t *testing.T) {
+	ctx := context.Background()
 	plant := &headroom.SimPlant{
 		Pool: headroom.PoolB(),
 		DC:   headroom.NineRegions()[0],
 		Seed: 5,
 	}
-	res, err := headroom.RunRSM(plant, headroom.RSMConfig{
+	s, err := headroom.New(ctx)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := s.RunRSM(ctx, plant, headroom.RSMConfig{
 		InitialServers: 300,
 		QoSLimitMs:     36,
 		StepFrac:       0.15,
@@ -99,5 +123,19 @@ func TestFacadeRSM(t *testing.T) {
 	}
 	if res.SavingsFrac <= 0 {
 		t.Errorf("savings = %v", res.SavingsFrac)
+	}
+}
+
+func TestFacadeNamedPool(t *testing.T) {
+	cfg := headroom.DefaultFleet(1)
+	p, err := headroom.NamedPool(cfg, "B")
+	if err != nil {
+		t.Fatalf("NamedPool(B): %v", err)
+	}
+	if p.Name != "B" {
+		t.Errorf("pool = %q, want B", p.Name)
+	}
+	if _, err := headroom.NamedPool(cfg, "nope"); err == nil {
+		t.Error("NamedPool(nope) should fail")
 	}
 }

@@ -1,0 +1,170 @@
+// Package jobcache is capserved's keyed result cache: identical what-if
+// queries (same fleet, days, seed, plan configuration) hit the cache and
+// return instantly instead of re-simulating the fleet.
+//
+// Keys content-hash the canonicalized request (Key), values are bounded by
+// LRU eviction, and concurrent identical requests are deduplicated by
+// single-flight execution: the first caller computes, the rest wait for the
+// same result.
+package jobcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key content-hashes a request into a cache key. Parts are canonicalized
+// through encoding/json — struct fields in declaration order, map keys
+// sorted — so two requests that decode to the same canonical form share a
+// key regardless of wire-level field order or whitespace. The endpoint name
+// should be one of the parts so equal payloads to different endpoints never
+// collide.
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("jobcache: canonicalize key: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// entry is one cached value with its LRU list node.
+type entry struct {
+	key string
+	val any
+}
+
+// call is one in-flight computation shared by duplicate requests.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a bounded LRU of computed results with single-flight
+// deduplication. The zero value is not usable; construct with New.
+type Cache struct {
+	capacity int
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*call
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	shared atomic.Int64
+}
+
+// New returns a cache holding at most capacity results (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used. It
+// does not touch the hit/miss counters — Do owns those.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+// Do returns the value for key, computing it with fn on a miss. Concurrent
+// calls for the same key share a single fn execution (single-flight); the
+// value is cached only on success, so errors are retried by the next
+// caller. hit reports whether the value came from cache or a shared flight
+// rather than a fresh execution by this caller.
+func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.shared.Add(1)
+		<-fl.done
+		return fl.val, true, fl.err
+	}
+	fl := &call{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	fl.val, fl.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.add(key, fl.val)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, false, fl.err
+}
+
+// add inserts under c.mu, evicting the least recently used entry beyond
+// capacity.
+func (c *Cache) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*entry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats is a point-in-time view of cache effectiveness.
+type Stats struct {
+	// Hits counts Do calls answered from the cache; Shared counts calls
+	// answered by joining another caller's in-flight computation; Misses
+	// counts calls that executed fn.
+	Hits, Misses, Shared int64
+	// Size is the number of cached results; Capacity the LRU bound.
+	Size, Capacity int
+}
+
+// Stats returns cumulative counters and current size.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Shared:   c.shared.Load(),
+		Size:     c.Len(),
+		Capacity: c.capacity,
+	}
+}

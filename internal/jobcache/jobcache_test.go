@@ -1,0 +1,201 @@
+package jobcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKeyDeterministicAndDistinct(t *testing.T) {
+	type req struct {
+		Days int
+		Seed int64
+	}
+	k1, err := Key("plan", req{Days: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	k2, _ := Key("plan", req{Days: 1, Seed: 7})
+	if k1 != k2 {
+		t.Errorf("identical requests keyed differently: %s vs %s", k1, k2)
+	}
+	k3, _ := Key("plan", req{Days: 2, Seed: 7})
+	if k1 == k3 {
+		t.Error("different requests share a key")
+	}
+	k4, _ := Key("simulate", req{Days: 1, Seed: 7})
+	if k1 == k4 {
+		t.Error("different endpoints share a key for equal payloads")
+	}
+}
+
+func TestKeyCanonicalizesMapOrder(t *testing.T) {
+	// encoding/json sorts map keys, so insertion order must not matter.
+	k1, _ := Key(map[string]int{"a": 1, "b": 2, "c": 3})
+	m := map[string]int{}
+	for _, kv := range []struct {
+		k string
+		v int
+	}{{"c", 3}, {"b", 2}, {"a", 1}} {
+		m[kv.k] = kv.v
+	}
+	k2, _ := Key(m)
+	if k1 != k2 {
+		t.Error("map insertion order changed the key")
+	}
+}
+
+func TestKeyUnencodable(t *testing.T) {
+	if _, err := Key(func() {}); err == nil {
+		t.Error("Key(func) should fail")
+	}
+}
+
+func TestDoCachesResult(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int32
+	fn := func() (any, error) { calls.Add(1); return "v", nil }
+
+	v, hit, err := c.Do("k", fn)
+	if err != nil || v != "v" || hit {
+		t.Fatalf("first Do = %v, hit=%v, err=%v", v, hit, err)
+	}
+	v, hit, err = c.Do("k", fn)
+	if err != nil || v != "v" || !hit {
+		t.Fatalf("second Do = %v, hit=%v, err=%v; want cache hit", v, hit, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	fn := func() (any, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, _, err := c.Do("k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := c.Do("k", fn)
+	if err != nil || v != "ok" || hit {
+		t.Fatalf("retry after error = %v, hit=%v, err=%v", v, hit, err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Do("a", func() (any, error) { return 1, nil })
+	c.Do("b", func() (any, error) { return 2, nil })
+	c.Do("a", func() (any, error) { t.Error("a recomputed"); return nil, nil }) // touch a
+	c.Do("c", func() (any, error) { return 3, nil })                            // evicts b
+
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestSingleFlightDedup(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int32
+	gate := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.Do("k", func() (any, error) {
+				calls.Add(1)
+				<-gate
+				return "shared", nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], hits[i] = v, hit
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the one computation.
+	for c.Stats().Shared+c.Stats().Misses < n {
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times under concurrency, want 1", n)
+	}
+	var leaders int
+	for i := range results {
+		if results[i] != "shared" {
+			t.Errorf("result[%d] = %v", i, results[i])
+		}
+		if !hits[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leaders = %d, want exactly 1", leaders)
+	}
+	if s := c.Stats(); s.Shared != n-1 {
+		t.Errorf("shared = %d, want %d", s.Shared, n-1)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New(0) // clamped to 1
+	c.Do("a", func() (any, error) { return 1, nil })
+	c.Do("b", func() (any, error) { return 2, nil })
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%12)
+				v, _, err := c.Do(key, func() (any, error) { return key, nil })
+				if err != nil || v != key {
+					t.Errorf("Do(%s) = %v, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,397 @@
+// Package jobs is the async execution backbone of capserved: a bounded
+// worker pool fed by a bounded queue, with per-job deadlines, retry with
+// exponential backoff for transient failures, and job states queryable by
+// ID (pending → running → done | failed).
+//
+// The queue is deliberately generic — a job is any func(ctx) (any, error) —
+// so the server layer owns request decoding and result shaping while this
+// package owns scheduling, lifecycle and draining.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// Pending means the job is queued but no worker has picked it up.
+	Pending State = "pending"
+	// Running means a worker is executing the job (or sleeping between
+	// retry attempts).
+	Running State = "running"
+	// Done means the job finished successfully; its Result is set.
+	Done State = "done"
+	// Failed means the job exhausted its attempts or hit a permanent
+	// error; its Err is set.
+	Failed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed }
+
+// ErrTransient marks an error as retryable. Wrap with Transient (or any
+// wrapping that satisfies errors.Is(err, ErrTransient)) to ask the queue to
+// retry the job with backoff instead of failing it outright.
+var ErrTransient = errors.New("transient failure")
+
+// Transient wraps err so the queue retries the job. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// IsTransient reports whether err asks for a retry.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// ErrQueueFull is returned by Submit when the pending queue is at capacity.
+// Callers should surface it as backpressure (HTTP 503) rather than block.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("jobs: queue closed")
+
+// Func is the work a job performs. The context carries the per-job deadline
+// and is cancelled when the queue shuts down hard (drain deadline passed).
+type Func func(ctx context.Context) (any, error)
+
+// Job is one submitted unit of work. Fields are read through the accessor
+// methods, which are safe for concurrent use while the job runs.
+type Job struct {
+	// ID is the queue-unique identifier ("j-000042").
+	ID string
+	// Kind is a caller-supplied label ("plan", "simulate"), used for
+	// metrics and listings.
+	Kind string
+
+	fn   Func
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	result    any
+	err       error
+	attempts  int
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	onFinish  func(*Job)
+	onRunning func(*Job)
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Snapshot is a consistent copy of a job's observable state.
+type Snapshot struct {
+	ID       string
+	Kind     string
+	State    State
+	Result   any
+	Err      error
+	Attempts int
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Snapshot returns a consistent copy of the job's observable state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID: j.ID, Kind: j.Kind, State: j.state,
+		Result: j.result, Err: j.err, Attempts: j.attempts,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job is terminal or ctx is cancelled, returning the
+// result or the job/context error.
+func (j *Job) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.result, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = Running
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.attempts++
+	cb := j.onRunning
+	j.mu.Unlock()
+	if cb != nil {
+		cb(j)
+	}
+}
+
+func (j *Job) finish(result any, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = Failed
+		j.err = err
+	} else {
+		j.state = Done
+		j.result = result
+	}
+	j.finished = time.Now()
+	cb := j.onFinish
+	j.mu.Unlock()
+	close(j.done)
+	if cb != nil {
+		cb(j)
+	}
+}
+
+// Config sizes a Queue. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pending queue; Submit returns ErrQueueFull
+	// beyond it. Default 4 × Workers.
+	QueueDepth int
+	// Timeout is the per-job deadline measured from the moment a worker
+	// first picks the job up (it spans retries). Zero means no deadline.
+	Timeout time.Duration
+	// MaxAttempts bounds executions of a job whose error is transient
+	// (see Transient). Default 3; permanent errors never retry.
+	MaxAttempts int
+	// Backoff is the sleep before the first retry, doubling per attempt.
+	// Default 50 ms.
+	Backoff time.Duration
+	// OnStateChange, when set, is invoked after every job transition
+	// (running, done, failed). Used by the server for metrics.
+	OnStateChange func(Snapshot)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Queue runs submitted jobs on a bounded worker pool and retains every job
+// (terminal or not) for lookup by ID until Forget or shutdown.
+type Queue struct {
+	cfg    Config
+	pend   chan *Job
+	seq    atomic.Uint64
+	hardMu sync.Mutex
+	hard   context.Context // cancels running jobs past the drain deadline
+	kill   context.CancelFunc
+
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	running atomic.Int64
+}
+
+// New starts a queue with cfg.Workers workers. Call Close to drain it.
+func New(cfg Config) *Queue {
+	cfg = cfg.withDefaults()
+	hard, kill := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg:  cfg,
+		pend: make(chan *Job, cfg.QueueDepth),
+		hard: hard,
+		kill: kill,
+		jobs: make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Workers returns the pool size.
+func (q *Queue) Workers() int { return q.cfg.Workers }
+
+// Submit enqueues fn as a new job labelled kind. It never blocks: when the
+// pending queue is full it returns ErrQueueFull, and after Close it returns
+// ErrClosed.
+func (q *Queue) Submit(kind string, fn Func) (*Job, error) {
+	j := &Job{
+		ID:      fmt.Sprintf("j-%06d", q.seq.Add(1)),
+		Kind:    kind,
+		fn:      fn,
+		done:    make(chan struct{}),
+		state:   Pending,
+		created: time.Now(),
+	}
+	if cb := q.cfg.OnStateChange; cb != nil {
+		j.onRunning = func(j *Job) { cb(j.Snapshot()) }
+		j.onFinish = func(j *Job) { cb(j.Snapshot()) }
+	}
+
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Reserve the map slot under the lock so a Get racing the Submit sees
+	// the job as soon as Submit succeeds.
+	q.jobs[j.ID] = j
+	q.mu.Unlock()
+
+	select {
+	case q.pend <- j:
+		return j, nil
+	default:
+		q.mu.Lock()
+		delete(q.jobs, j.ID)
+		q.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns the job with the given ID.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Forget drops a terminal job from the lookup table, bounding memory for
+// long-running servers. Non-terminal jobs are kept.
+func (q *Queue) Forget(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[id]; ok && j.State().Terminal() {
+		delete(q.jobs, id)
+	}
+}
+
+// Stats is a point-in-time view of queue load.
+type Stats struct {
+	// Depth is the number of jobs waiting for a worker.
+	Depth int
+	// Running is the number of jobs currently executing.
+	Running int
+	// Workers is the pool size.
+	Workers int
+}
+
+// Stats returns current queue load.
+func (q *Queue) Stats() Stats {
+	return Stats{Depth: len(q.pend), Running: int(q.running.Load()), Workers: q.cfg.Workers}
+}
+
+// Close drains the queue: it stops accepting submissions, lets queued and
+// in-flight jobs finish, and returns when all workers have exited. If ctx
+// is cancelled first, running jobs have their contexts cancelled (failing
+// them promptly) and Close returns ctx.Err().
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	already := q.closed
+	q.closed = true
+	q.mu.Unlock()
+	if !already {
+		close(q.pend)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		q.kill() // cancel in-flight job contexts
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.pend {
+		q.running.Add(1)
+		q.run(j)
+		q.running.Add(-1)
+	}
+}
+
+// run executes one job, retrying transient failures with exponential
+// backoff until MaxAttempts or the job deadline.
+func (q *Queue) run(j *Job) {
+	ctx := q.hard
+	var cancel context.CancelFunc
+	if q.cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, q.cfg.Timeout)
+		defer cancel()
+	}
+
+	backoff := q.cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		j.setRunning()
+		result, err := safeCall(ctx, j.fn)
+		if err == nil {
+			j.finish(result, nil)
+			return
+		}
+		retryable := IsTransient(err) && attempt < q.cfg.MaxAttempts && ctx.Err() == nil
+		if !retryable {
+			j.finish(nil, err)
+			return
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			j.finish(nil, fmt.Errorf("%w (after %d attempts: %w)", ctx.Err(), attempt, err))
+			return
+		}
+		backoff *= 2
+	}
+}
+
+// safeCall invokes fn, converting a panic into a permanent job failure so
+// one bad request cannot take a worker (or the server) down.
+func safeCall(ctx context.Context, fn Func) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job panicked: %v", r)
+		}
+	}()
+	return fn(ctx)
+}

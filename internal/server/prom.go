@@ -1,0 +1,236 @@
+package server
+
+// Minimal Prometheus text-format exposition (counters, gauges, histograms)
+// with no external dependencies. capserved only needs write-side types: the
+// registry renders the version 0.0.4 text format a Prometheus scraper (or
+// the e2e tests) parses.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// labels is one metric's label set, rendered sorted by key.
+type labels map[string]string
+
+func (l labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// series is one sample-producing member of a family.
+type series interface {
+	// write appends exposition lines for this series to w, given the
+	// family name and pre-rendered label suffix.
+	write(w io.Writer, name, lbl string)
+}
+
+// counter is a monotonically increasing integer metric.
+type counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for counter semantics).
+func (c *counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *counter) Value() int64 { return c.v.Load() }
+
+func (c *counter) write(w io.Writer, name, lbl string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, lbl, c.v.Load())
+}
+
+// gaugeFunc samples a value at scrape time — used for queue depth, cache
+// size and other states owned elsewhere.
+type gaugeFunc func() float64
+
+func (g gaugeFunc) write(w io.Writer, name, lbl string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, lbl, formatFloat(g()))
+}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending, +Inf implicit
+	buckets []int64   // non-cumulative per-bound counts
+	inf     int64     // observations above the last bound
+	sum     float64
+	count   int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]int64, len(bounds))}
+}
+
+// Observe records one observation.
+func (h *histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf++
+	}
+	h.sum += v
+	h.count++
+}
+
+func (h *histogram) write(w io.Writer, name, lbl string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Exposition buckets are cumulative.
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(lbl, "le", formatFloat(b)), cum)
+	}
+	cum += h.inf
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(lbl, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, lbl, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, h.count)
+}
+
+// mergeLabel inserts an extra label pair into a pre-rendered label suffix.
+func mergeLabel(lbl, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if lbl == "" {
+		return "{" + pair + "}"
+	}
+	return lbl[:len(lbl)-1] + "," + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// family groups same-named series with their HELP/TYPE header.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+
+	mu     sync.Mutex
+	order  []string
+	series map[string]series // rendered label suffix -> series
+}
+
+func (f *family) add(lbl labels, s series) {
+	key := lbl.render()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.series[key]; dup {
+		panic(fmt.Sprintf("server: duplicate metric %s%s", f.name, key))
+	}
+	f.order = append(f.order, key)
+	f.series[key] = s
+}
+
+// registry holds the server's metric families in registration order.
+type registry struct {
+	mu   sync.Mutex
+	fams []*family
+	byID map[string]*family
+}
+
+func newRegistry() *registry {
+	return &registry{byID: make(map[string]*family)}
+}
+
+func (r *registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byID[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("server: metric %s reregistered as %s (was %s)", name, typ, f.typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, series: make(map[string]series)}
+	r.fams = append(r.fams, f)
+	r.byID[name] = f
+	return f
+}
+
+// counter registers (or extends) a counter family with one labelled series.
+func (r *registry) counter(name, help string, lbl labels) *counter {
+	c := &counter{}
+	r.family(name, help, "counter").add(lbl, c)
+	return c
+}
+
+// gauge registers a scrape-time-sampled gauge series.
+func (r *registry) gauge(name, help string, lbl labels, fn gaugeFunc) {
+	r.family(name, help, "gauge").add(lbl, fn)
+}
+
+// counterFunc registers a scrape-time-sampled counter series, for monotone
+// values owned elsewhere (cache hit totals).
+func (r *registry) counterFunc(name, help string, lbl labels, fn gaugeFunc) {
+	r.family(name, help, "counter").add(lbl, fn)
+}
+
+// histogram registers a histogram series with the given upper bounds.
+func (r *registry) histogram(name, help string, lbl labels, bounds []float64) *histogram {
+	h := newHistogram(bounds)
+	r.family(name, help, "histogram").add(lbl, h)
+	return h
+}
+
+// writeText renders every family in the Prometheus text exposition format.
+func (r *registry) writeText(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.Lock()
+		for _, key := range f.order {
+			f.series[key].write(w, f.name, key)
+		}
+		f.mu.Unlock()
+	}
+}
+
+// defBuckets are the request-latency bounds in seconds: sub-millisecond
+// cache hits through multi-second fleet simulations.
+var defBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10, 30}

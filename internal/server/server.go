@@ -1,0 +1,430 @@
+// Package server is the HTTP front-end of capserved: it exposes the
+// capacity-planning pipeline (simulate, plan, validate, forecast) as an
+// async job API backed by a bounded worker pool (internal/jobs) and a keyed
+// result cache (internal/jobcache), and exports Prometheus text-format
+// metrics without external dependencies.
+//
+// Endpoints:
+//
+//	POST /v1/simulate   submit a fleet-simulation job
+//	POST /v1/plan       submit a simulate+plan job
+//	POST /v1/validate   submit an offline A/B validation job
+//	POST /v1/forecast   submit a workload-forecast job
+//	GET  /v1/jobs/{id}  job state and, when done, its result
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition
+//
+// Submissions return 202 with a job envelope; pass ?wait=true (or a
+// duration, ?wait=30s) to block until the job is terminal and receive the
+// result inline. Identical requests are answered from the result cache and
+// deduplicated in flight, so repeated what-if queries cost one simulation.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"headroom/internal/jobcache"
+	"headroom/internal/jobs"
+)
+
+// Config sizes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Workers sizes the job worker pool; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pending job queue; default 4 × Workers.
+	// Submissions beyond it receive 503.
+	QueueDepth int
+	// CacheSize bounds the result cache (number of results); default 128.
+	CacheSize int
+	// JobTimeout is the per-job deadline; default 5 minutes.
+	JobTimeout time.Duration
+	// Shards is the aggregation shard count passed to sessions
+	// (0 = one per CPU). Shard count never changes results, so it is
+	// excluded from cache keys.
+	Shards int
+	// DrainTimeout bounds graceful shutdown: connection draining plus job
+	// draining; default 30 seconds.
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; default 8 MiB (forecast series
+	// can be large).
+	MaxBodyBytes int64
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server wires handlers, the job queue, the result cache and metrics.
+type Server struct {
+	cfg     Config
+	queue   *jobs.Queue
+	cache   *jobcache.Cache
+	reg     *registry
+	mux     *http.ServeMux
+	handler http.Handler
+
+	m serverMetrics
+}
+
+// serverMetrics holds the pre-registered metric series.
+type serverMetrics struct {
+	jobsSubmitted map[string]*counter // by kind
+	jobsDone      map[string]*counter
+	jobsFailed    map[string]*counter
+	reqTotal      map[string]*counter   // by handler
+	reqDuration   map[string]*histogram // by handler
+	badRequests   *counter
+	queueFull     *counter
+}
+
+// endpoints the server serves jobs for, used to pre-register labelled
+// metric series.
+var jobKinds = []string{"simulate", "plan", "validate", "forecast"}
+
+// New builds a Server and starts its worker pool. Call Shutdown (or Serve
+// with a cancellable context) to drain it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: jobcache.New(cfg.CacheSize),
+		reg:   newRegistry(),
+		mux:   http.NewServeMux(),
+	}
+	s.queue = jobs.New(jobs.Config{
+		Workers:       cfg.Workers,
+		QueueDepth:    cfg.QueueDepth,
+		Timeout:       cfg.JobTimeout,
+		OnStateChange: s.onJobState,
+	})
+	s.initMetrics()
+	s.routes()
+	s.handler = s.mux
+	return s
+}
+
+func (s *Server) initMetrics() {
+	m := &s.m
+	m.jobsSubmitted = map[string]*counter{}
+	m.jobsDone = map[string]*counter{}
+	m.jobsFailed = map[string]*counter{}
+	m.reqTotal = map[string]*counter{}
+	m.reqDuration = map[string]*histogram{}
+	for _, kind := range jobKinds {
+		m.jobsSubmitted[kind] = s.reg.counter("capserved_jobs_submitted_total",
+			"Jobs accepted into the queue.", labels{"kind": kind})
+		m.jobsDone[kind] = s.reg.counter("capserved_jobs_completed_total",
+			"Jobs finished, by outcome.", labels{"kind": kind, "state": "done"})
+		m.jobsFailed[kind] = s.reg.counter("capserved_jobs_completed_total",
+			"Jobs finished, by outcome.", labels{"kind": kind, "state": "failed"})
+	}
+	for _, h := range append([]string{"jobs", "healthz", "metrics"}, jobKinds...) {
+		m.reqTotal[h] = s.reg.counter("capserved_http_requests_total",
+			"HTTP requests served, by handler.", labels{"handler": h})
+		m.reqDuration[h] = s.reg.histogram("capserved_request_duration_seconds",
+			"HTTP request latency, by handler.", labels{"handler": h}, defBuckets)
+	}
+	m.badRequests = s.reg.counter("capserved_bad_requests_total",
+		"Requests rejected by validation.", nil)
+	m.queueFull = s.reg.counter("capserved_queue_rejections_total",
+		"Submissions rejected because the job queue was full.", nil)
+
+	s.reg.gauge("capserved_jobs_running", "Jobs currently executing.", nil,
+		func() float64 { return float64(s.queue.Stats().Running) })
+	s.reg.gauge("capserved_queue_depth", "Jobs waiting for a worker.", nil,
+		func() float64 { return float64(s.queue.Stats().Depth) })
+	s.reg.gauge("capserved_workers", "Worker-pool size.", nil,
+		func() float64 { return float64(s.queue.Workers()) })
+	s.reg.counterFunc("capserved_cache_hits_total",
+		"Job submissions answered from the result cache.", nil,
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	s.reg.counterFunc("capserved_cache_misses_total",
+		"Job submissions that computed a fresh result.", nil,
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	s.reg.counterFunc("capserved_cache_deduped_total",
+		"Job submissions that joined an identical in-flight computation.", nil,
+		func() float64 { return float64(s.cache.Stats().Shared) })
+	s.reg.gauge("capserved_cache_size", "Results currently cached.", nil,
+		func() float64 { return float64(s.cache.Stats().Size) })
+}
+
+// onJobState feeds queue transitions into the completion counters.
+func (s *Server) onJobState(snap jobs.Snapshot) {
+	switch snap.State {
+	case jobs.Done:
+		if c, ok := s.m.jobsDone[snap.Kind]; ok {
+			c.Inc()
+		}
+	case jobs.Failed:
+		if c, ok := s.m.jobsFailed[snap.Kind]; ok {
+			c.Inc()
+		}
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSubmit("simulate")))
+	s.mux.Handle("POST /v1/plan", s.instrument("plan", s.handleSubmit("plan")))
+	s.mux.Handle("POST /v1/validate", s.instrument("validate", s.handleSubmit("validate")))
+	s.mux.Handle("POST /v1/forecast", s.instrument("forecast", s.handleSubmit("forecast")))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", http.HandlerFunc(s.handleJob)))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", http.HandlerFunc(s.handleMetrics)))
+}
+
+// Handler returns the server's HTTP handler, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// instrument wraps a handler with the per-endpoint request counter and
+// latency histogram.
+func (s *Server) instrument(name string, h http.Handler) http.Handler {
+	total, dur := s.m.reqTotal[name], s.m.reqDuration[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		total.Inc()
+		dur.Observe(time.Since(start).Seconds())
+	})
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: it stops accepting, drains in-flight connections, drains the
+// job queue, and returns nil on a clean drain. The drain window is
+// Config.DrainTimeout.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	s.cfg.Logf("capserved: listening on %s (%d workers, cache %d)",
+		ln.Addr(), s.queue.Workers(), s.cfg.CacheSize)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.cfg.Logf("capserved: draining (timeout %s)", s.cfg.DrainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := httpSrv.Shutdown(drainCtx)
+	if qErr := s.queue.Close(drainCtx); err == nil {
+		err = qErr
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	if err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	s.cfg.Logf("capserved: drained cleanly")
+	return nil
+}
+
+// Shutdown drains the job queue directly, for callers using Handler with
+// their own HTTP server (httptest).
+func (s *Server) Shutdown(ctx context.Context) error { return s.queue.Close(ctx) }
+
+// --- HTTP plumbing -------------------------------------------------------
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.m.badRequests.Inc()
+	writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+}
+
+// jobView is the wire representation of a job.
+type jobView struct {
+	JobID    string          `json:"job_id"`
+	Kind     string          `json:"kind"`
+	State    jobs.State      `json:"state"`
+	Attempts int             `json:"attempts,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Self     string          `json:"self"`
+}
+
+func viewOf(j *jobs.Job) jobView {
+	snap := j.Snapshot()
+	v := jobView{
+		JobID:    snap.ID,
+		Kind:     snap.Kind,
+		State:    snap.State,
+		Attempts: snap.Attempts,
+		Created:  snap.Created,
+		Self:     "/v1/jobs/" + snap.ID,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		v.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		v.Finished = &t
+	}
+	if snap.State == jobs.Done {
+		if raw, ok := snap.Result.(json.RawMessage); ok {
+			v.Result = raw
+		}
+	}
+	if snap.State == jobs.Failed && snap.Err != nil {
+		v.Error = snap.Err.Error()
+	}
+	return v
+}
+
+// handleSubmit decodes, validates and canonicalizes a request for kind,
+// then submits a job that computes through the result cache.
+func (s *Server) handleSubmit(kind string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+		if err != nil {
+			s.badRequest(w, fmt.Errorf("read body: %w", err))
+			return
+		}
+		if int64(len(body)) > s.cfg.MaxBodyBytes {
+			s.m.badRequests.Inc()
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes)})
+			return
+		}
+		compute, canonical, err := s.buildJob(kind, body)
+		if err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		// The cache key is the canonicalized request — defaults applied,
+		// shard count excluded (sharding never changes results).
+		key, err := jobcache.Key(kind, canonical)
+		if err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		j, err := s.queue.Submit(kind, func(ctx context.Context) (any, error) {
+			val, _, err := s.cache.Do(key, func() (any, error) { return compute(ctx) })
+			return val, err
+		})
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			s.m.queueFull.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+			return
+		case errors.Is(err, jobs.ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+			return
+		case err != nil:
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+		s.m.jobsSubmitted[kind].Inc()
+
+		if wait, ok := parseWait(r.URL.Query().Get("wait")); ok {
+			waitCtx := r.Context()
+			if wait > 0 {
+				var cancel context.CancelFunc
+				waitCtx, cancel = context.WithTimeout(waitCtx, wait)
+				defer cancel()
+			}
+			j.Wait(waitCtx)
+			if !j.State().Terminal() {
+				// Timed out waiting: fall back to the async envelope.
+				writeJSON(w, http.StatusAccepted, viewOf(j))
+				return
+			}
+			code := http.StatusOK
+			if j.State() == jobs.Failed {
+				code = http.StatusUnprocessableEntity
+			}
+			writeJSON(w, code, viewOf(j))
+			return
+		}
+		writeJSON(w, http.StatusAccepted, viewOf(j))
+	})
+}
+
+// parseWait interprets the ?wait query parameter: absent/false → no wait,
+// "true"/"1" → wait until the request context ends, a duration → wait at
+// most that long.
+func parseWait(v string) (time.Duration, bool) {
+	switch v {
+	case "":
+		return 0, false
+	case "true", "1":
+		return 0, true
+	case "false", "0":
+		return 0, false
+	}
+	if d, err := time.ParseDuration(v); err == nil && d > 0 {
+		return d, true
+	}
+	return 0, false
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.queue.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.queue.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": st.Workers,
+		"running": st.Running,
+		"depth":   st.Depth,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.writeText(w)
+}
+
+// CacheStats exposes cache counters for tests.
+func (s *Server) CacheStats() jobcache.Stats { return s.cache.Stats() }

@@ -179,7 +179,7 @@ func (s *Session) Simulate(ctx context.Context, days int, actions ...Action) (*A
 		return s.Aggregate(ctx, s.source)
 	}
 	if !s.hasFleet {
-		return nil, errNoSource
+		return nil, ErrNoSource
 	}
 	return s.Aggregate(ctx, NewSimSource(s.fleet, days, actions...))
 }
@@ -192,7 +192,7 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 		src = s.source
 	}
 	if src == nil {
-		return nil, errNoSource
+		return nil, ErrNoSource
 	}
 	ctx, done := s.opCtx(ctx)
 	defer done()
@@ -266,7 +266,7 @@ func (s *Session) Stream(ctx context.Context, src Source, emit func(Record) erro
 		src = s.source
 	}
 	if src == nil {
-		return errNoSource
+		return ErrNoSource
 	}
 	ctx, done := s.opCtx(ctx)
 	defer done()

@@ -215,4 +215,8 @@ var (
 	_ ShardedSource = (*replaySource)(nil)
 )
 
-var errNoSource = errors.New("headroom: session has no record source (configure WithSource or WithFleet)")
+// ErrNoSource reports an operation on a session configured with neither
+// WithSource nor WithFleet. Callers building services on the library (such
+// as cmd/capserved) can errors.Is against it to classify the failure as a
+// configuration error rather than an execution error.
+var ErrNoSource = errors.New("headroom: session has no record source (configure WithSource or WithFleet)")
