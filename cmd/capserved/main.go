@@ -11,8 +11,9 @@
 //	capserved -addr :8080 -workers 8 -cache 256 -job-timeout 10m
 //
 // Endpoints: POST /v1/{simulate,plan,validate,forecast}, GET /v1/jobs/{id},
-// GET /healthz, GET /metrics (Prometheus text format). See the README's
-// "Running the server" section for request examples.
+// GET /healthz, GET /readyz, GET /metrics (Prometheus text format). See the
+// README's "Running the server" and "Failure semantics" sections for request
+// examples and degraded-mode behaviour.
 //
 // SIGTERM or SIGINT drains gracefully: the listener closes, in-flight
 // requests and queued jobs finish (bounded by -drain-timeout), then the
@@ -55,6 +56,13 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown window")
 		shards       = fs.Int("shards", 0, "aggregation shards per job (0 = one per CPU)")
+
+		partial       = fs.Bool("partial-results", false, "serve degraded results when some pools fail instead of failing the whole job")
+		retryAttempts = fs.Int("source-retries", 0, "max source stream attempts per shard (0 = default 3, 1 = no retries)")
+		retryBackoff  = fs.Duration("source-retry-backoff", 0, "initial backoff between source retries (0 = default 50ms)")
+		brThreshold   = fs.Int("breaker-threshold", 0, "consecutive job failures before an endpoint's circuit opens (0 = default 5, negative = disabled)")
+		brOpenFor     = fs.Duration("breaker-open-for", 0, "how long an open circuit fast-fails before probing (0 = default 10s)")
+		readyHWM      = fs.Int("ready-watermark", 0, "queue depth at which /readyz reports overloaded (0 = 3/4 of queue depth)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +90,18 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	if *shards < 0 {
 		return fail("shards must be >= 0, got %d", *shards)
 	}
+	if *retryAttempts < 0 {
+		return fail("source-retries must be >= 0, got %d", *retryAttempts)
+	}
+	if *retryBackoff < 0 {
+		return fail("source-retry-backoff must be >= 0, got %s", *retryBackoff)
+	}
+	if *brOpenFor < 0 {
+		return fail("breaker-open-for must be >= 0, got %s", *brOpenFor)
+	}
+	if *readyHWM < 0 {
+		return fail("ready-watermark must be >= 0, got %d", *readyHWM)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -92,13 +112,19 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	}
 
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheSize:    *cacheSize,
-		JobTimeout:   *jobTimeout,
-		DrainTimeout: *drainTimeout,
-		Shards:       *shards,
-		Logf:         log.New(os.Stderr, "", log.LstdFlags).Printf,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		CacheSize:          *cacheSize,
+		JobTimeout:         *jobTimeout,
+		DrainTimeout:       *drainTimeout,
+		Shards:             *shards,
+		PartialResults:     *partial,
+		RetryAttempts:      *retryAttempts,
+		RetryBackoff:       *retryBackoff,
+		BreakerThreshold:   *brThreshold,
+		BreakerOpenFor:     *brOpenFor,
+		ReadyHighWatermark: *readyHWM,
+		Logf:               log.New(os.Stderr, "", log.LstdFlags).Printf,
 	})
 	return srv.Serve(ctx, ln)
 }

@@ -41,6 +41,12 @@ type entry struct {
 	val any
 }
 
+// Uncacheable wraps a computation result that must be returned to the
+// caller but never stored: degraded results (partial aggregates after pool
+// failures) must not short-circuit future computations as if they were
+// complete. Do unwraps it, returns the inner value, and skips the store.
+type Uncacheable struct{ Value any }
+
 // call is one in-flight computation shared by duplicate requests.
 type call struct {
 	done chan struct{}
@@ -58,9 +64,10 @@ type Cache struct {
 	items    map[string]*list.Element
 	inflight map[string]*call
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	shared atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	shared   atomic.Int64
+	uncached atomic.Int64
 }
 
 // New returns a cache holding at most capacity results (minimum 1).
@@ -115,9 +122,15 @@ func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit bool, err e
 	c.misses.Add(1)
 	fl.val, fl.err = fn()
 
+	store := fl.err == nil
+	if u, ok := fl.val.(Uncacheable); ok {
+		fl.val = u.Value
+		store = false
+		c.uncached.Add(1)
+	}
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if fl.err == nil {
+	if store {
 		c.add(key, fl.val)
 	}
 	c.mu.Unlock()
@@ -154,6 +167,9 @@ type Stats struct {
 	// answered by joining another caller's in-flight computation; Misses
 	// counts calls that executed fn.
 	Hits, Misses, Shared int64
+	// Uncacheable counts executions whose result asked not to be stored
+	// (degraded results).
+	Uncacheable int64
 	// Size is the number of cached results; Capacity the LRU bound.
 	Size, Capacity int
 }
@@ -161,10 +177,11 @@ type Stats struct {
 // Stats returns cumulative counters and current size.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Shared:   c.shared.Load(),
-		Size:     c.Len(),
-		Capacity: c.capacity,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Shared:      c.shared.Load(),
+		Uncacheable: c.uncached.Load(),
+		Size:        c.Len(),
+		Capacity:    c.capacity,
 	}
 }

@@ -1,0 +1,46 @@
+package jobcache
+
+import "testing"
+
+func TestUncacheableReturnedButNeverStored(t *testing.T) {
+	c := New(4)
+	runs := 0
+	degraded := func() (any, error) {
+		runs++
+		return Uncacheable{Value: "partial"}, nil
+	}
+
+	v, hit, err := c.Do("k", degraded)
+	if err != nil || hit {
+		t.Fatalf("Do = (%v, %v, %v), want fresh execution", v, hit, err)
+	}
+	if v != "partial" {
+		t.Fatalf("value = %v, want the unwrapped inner value", v)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("degraded result was stored in the cache")
+	}
+
+	// An identical later request recomputes instead of being served the
+	// partial answer as if it were complete.
+	v, hit, err = c.Do("k", degraded)
+	if err != nil || hit || v != "partial" {
+		t.Fatalf("second Do = (%v, %v, %v), want recomputed value", v, hit, err)
+	}
+	if runs != 2 {
+		t.Fatalf("runs = %d, want 2", runs)
+	}
+	st := c.Stats()
+	if st.Uncacheable != 2 || st.Hits != 0 || st.Misses != 2 || st.Size != 0 {
+		t.Errorf("stats = %+v, want 2 uncacheable misses and an empty cache", st)
+	}
+
+	// A healthy (unwrapped) result on the same key caches normally again.
+	v, hit, err = c.Do("k", func() (any, error) { return "full", nil })
+	if err != nil || hit || v != "full" {
+		t.Fatalf("healthy Do = (%v, %v, %v)", v, hit, err)
+	}
+	if got, ok := c.Get("k"); !ok || got != "full" {
+		t.Fatalf("healthy result not cached: (%v, %v)", got, ok)
+	}
+}

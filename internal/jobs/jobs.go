@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -180,9 +181,13 @@ type Config struct {
 	// MaxAttempts bounds executions of a job whose error is transient
 	// (see Transient). Default 3; permanent errors never retry.
 	MaxAttempts int
-	// Backoff is the sleep before the first retry, doubling per attempt.
-	// Default 50 ms.
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// with seeded jitter (each retry sleeps a uniform value in
+	// [Backoff/2, Backoff] of the doubled base), so synchronized retries
+	// cannot stampede the queue. Default 50 ms.
 	Backoff time.Duration
+	// Seed drives the backoff jitter deterministically; default 1.
+	Seed int64
 	// OnStateChange, when set, is invoked after every job transition
 	// (running, done, failed). Used by the server for metrics.
 	OnStateChange func(Snapshot)
@@ -200,6 +205,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Backoff <= 0 {
 		c.Backoff = 50 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	return c
 }
@@ -220,6 +228,9 @@ type Queue struct {
 	jobs   map[string]*Job
 	closed bool
 
+	rngMu sync.Mutex
+	rng   *rand.Rand // seeded backoff jitter
+
 	running atomic.Int64
 }
 
@@ -233,6 +244,7 @@ func New(cfg Config) *Queue {
 		hard: hard,
 		kill: kill,
 		jobs: make(map[string]*Job),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		q.wg.Add(1)
@@ -243,6 +255,9 @@ func New(cfg Config) *Queue {
 
 // Workers returns the pool size.
 func (q *Queue) Workers() int { return q.cfg.Workers }
+
+// QueueDepth returns the pending queue's capacity bound.
+func (q *Queue) QueueDepth() int { return q.cfg.QueueDepth }
 
 // Submit enqueues fn as a new job labelled kind. It never blocks: when the
 // pending queue is full it returns ErrQueueFull, and after Close it returns
@@ -375,14 +390,34 @@ func (q *Queue) run(j *Job) {
 			j.finish(nil, err)
 			return
 		}
+		sleep := q.jitter(backoff)
+		// Cap cumulative retry time by the job deadline: a sleep that
+		// cannot finish before the deadline would only burn a worker, so
+		// give up now with the last real error.
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= sleep {
+			j.finish(nil, fmt.Errorf("jobs: retry abandoned after %d attempts (backoff %s exceeds job deadline): %w",
+				attempt, sleep, err))
+			return
+		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		case <-ctx.Done():
 			j.finish(nil, fmt.Errorf("%w (after %d attempts: %w)", ctx.Err(), attempt, err))
 			return
 		}
 		backoff *= 2
 	}
+}
+
+// jitter returns a seeded half-jittered sleep in [backoff/2, backoff].
+func (q *Queue) jitter(backoff time.Duration) time.Duration {
+	half := backoff / 2
+	if half <= 0 {
+		return backoff
+	}
+	q.rngMu.Lock()
+	defer q.rngMu.Unlock()
+	return half + time.Duration(q.rng.Int63n(int64(half)+1))
 }
 
 // safeCall invokes fn, converting a panic into a permanent job failure so

@@ -1,0 +1,45 @@
+// Package leakcheck asserts that tests leave no goroutines behind: chaos
+// and resilience tests drive panics, cancellations and fast-fail bursts
+// through the pipeline, and every one of those paths must release its
+// goroutines. The helper snapshots the goroutine count at test start and
+// fails the test if the count has not returned to the snapshot (with a
+// grace period for connection teardown) by cleanup time.
+package leakcheck
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails the test if more goroutines are still running after the grace
+// period. Call it first in a test so its cleanup runs last (after server
+// and client shutdown registered later). Not compatible with t.Parallel:
+// sibling tests' goroutines would pollute the count.
+func Check(t testing.TB) {
+	t.Helper()
+	start := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			// Idle HTTP keep-alive connections park client goroutines; drop
+			// them before each count — a connection may become idle only
+			// after the previous sweep.
+			http.DefaultClient.CloseIdleConnections()
+			n = runtime.NumGoroutine()
+			if n <= start {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines at cleanup, %d at start; stacks:\n%s", n, start, buf)
+	})
+}

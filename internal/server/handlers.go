@@ -8,11 +8,14 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"headroom"
+	"headroom/internal/jobcache"
+	"headroom/internal/jobs"
 )
 
 // maxDays bounds a single simulation job; longer horizons should be split
@@ -157,6 +160,24 @@ func (r SimulateRequest) fleet() (headroom.FleetConfig, error) {
 	return cfg, nil
 }
 
+// ShardFailure is the wire view of one failed shard of a degraded job.
+type ShardFailure struct {
+	// Shard is the failed shard's index in the aggregation fan-out.
+	Shard int `json:"shard"`
+	// Pools are the pool names the shard carried.
+	Pools []string `json:"pools,omitempty"`
+	// Error is the shard's failure.
+	Error string `json:"error"`
+}
+
+func shardFailures(pe *headroom.PartialError) []ShardFailure {
+	out := make([]ShardFailure, len(pe.Failed))
+	for i, f := range pe.Failed {
+		out[i] = ShardFailure{Shard: f.Shard, Pools: f.Pools, Error: f.Err.Error()}
+	}
+	return out
+}
+
 // PoolSummary condenses one (pool, datacenter) series for the wire.
 type PoolSummary struct {
 	Pool             string  `json:"pool"`
@@ -176,26 +197,75 @@ type SimulateResult struct {
 	PoolDCs      int           `json:"pool_dcs"`
 	TotalWindows int           `json:"total_windows"`
 	Pools        []PoolSummary `json:"pools"`
+	// Degraded marks a partial result: some pools failed and are absent
+	// from Pools. Degraded results are never cached.
+	Degraded bool `json:"degraded,omitempty"`
+	// FailedPools is the sorted union of pool names that failed.
+	FailedPools []string `json:"failed_pools,omitempty"`
+	// Failures details each failed shard.
+	Failures []ShardFailure `json:"failures,omitempty"`
 }
 
-func (s *Server) session(req SimulateRequest) (*headroom.Session, headroom.FleetConfig, error) {
+// simulateAggregate streams the request's fleet through the session layer
+// and returns the aggregate. The source is wrapped, innermost first, with
+// the chaos fault injector (Config.Faults) and the resilience layer
+// (Config.RetryAttempts); with Config.PartialResults the aggregation
+// tolerates failed pools and the returned *PartialError lists them
+// (degraded result). Transient errors that escape the resilience layer are
+// re-marked for the job queue so the job itself is retried.
+func (s *Server) simulateAggregate(ctx context.Context, req SimulateRequest, plan *headroom.PlanConfig) (*headroom.Aggregator, *headroom.PartialError, error) {
 	cfg, err := req.fleet()
 	if err != nil {
-		return nil, cfg, err
+		return nil, nil, err
 	}
-	sess, err := headroom.New(context.Background(),
-		headroom.WithFleet(cfg),
+	var src headroom.Source = headroom.NewSimSource(cfg, req.Days)
+	if s.cfg.Faults != nil {
+		src = s.cfg.Faults.Source(src)
+	}
+	if s.cfg.RetryAttempts > 0 {
+		src = headroom.ResilientSource(src, headroom.RetryPolicy{
+			MaxAttempts: s.cfg.RetryAttempts,
+			Backoff:     s.cfg.RetryBackoff,
+			Seed:        req.Seed,
+			OnRetry:     func(int, error) { s.m.sourceRetries.Inc() },
+		})
+	}
+	opts := []headroom.Option{
+		headroom.WithSource(src),
 		headroom.WithShards(s.cfg.Shards),
-	)
-	return sess, cfg, err
+		headroom.WithPartialResults(s.cfg.PartialResults),
+	}
+	if plan != nil {
+		opts = append(opts, headroom.WithPlanConfig(*plan))
+	}
+	sess, err := headroom.New(context.Background(), opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	agg, err := sess.Simulate(ctx, 0)
+	var pe *headroom.PartialError
+	if errors.As(err, &pe) && agg != nil {
+		return agg, pe, nil
+	}
+	if err != nil {
+		if headroom.IsTransient(err) {
+			// Retries inside the source exhausted; let the job queue retry
+			// the whole computation.
+			err = jobs.Transient(err)
+		}
+		return nil, nil, err
+	}
+	return agg, nil, nil
+}
+
+// planSession builds the session used by Plan over an already-computed
+// aggregate.
+func (s *Server) planSession(plan headroom.PlanConfig) (*headroom.Session, error) {
+	return headroom.New(context.Background(), headroom.WithPlanConfig(plan))
 }
 
 func (s *Server) computeSimulate(ctx context.Context, req SimulateRequest) (any, error) {
-	sess, _, err := s.session(req)
-	if err != nil {
-		return nil, err
-	}
-	agg, err := sess.Simulate(ctx, req.Days)
+	agg, pe, err := s.simulateAggregate(ctx, req, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +296,30 @@ func (s *Server) computeSimulate(ctx context.Context, req SimulateRequest) (any,
 		res.Pools = append(res.Pools, sum)
 	}
 	res.PoolDCs = len(res.Pools)
-	return marshalResult(res)
+	if pe != nil {
+		res.Degraded = true
+		res.FailedPools = pe.FailedPools()
+		res.Failures = shardFailures(pe)
+	}
+	return s.finishResult("simulate", res, pe)
+}
+
+// finishResult pre-renders a job result, marking degraded (partial) results
+// uncacheable so a later identical request recomputes instead of being
+// served a partial answer as if it were complete.
+func (s *Server) finishResult(kind string, v any, pe *headroom.PartialError) (any, error) {
+	raw, err := marshalResult(v)
+	if err != nil {
+		return nil, err
+	}
+	if pe == nil {
+		return raw, nil
+	}
+	if c, ok := s.m.degraded[kind]; ok {
+		c.Inc()
+	}
+	s.cfg.Logf("capserved: degraded %s result: %v", kind, pe)
+	return jobcache.Uncacheable{Value: raw}, nil
 }
 
 // --- plan ----------------------------------------------------------------
@@ -282,27 +375,27 @@ type PlanResult struct {
 	CurrentServers     int                 `json:"current_servers"`
 	RecommendedServers int                 `json:"recommended_servers"`
 	SavingsFrac        float64             `json:"savings_frac"`
+	// Degraded marks a partial result: some pools failed to simulate and
+	// were planned around. Degraded results are never cached.
+	Degraded bool `json:"degraded,omitempty"`
+	// FailedPools is the sorted union of pool names that failed.
+	FailedPools []string `json:"failed_pools,omitempty"`
+	// Failures details each failed shard.
+	Failures []ShardFailure `json:"failures,omitempty"`
 }
 
 func (s *Server) computePlan(ctx context.Context, req PlanRequest) (any, error) {
-	cfg, err := req.fleet()
+	planCfg := headroom.PlanConfig{
+		LatencyBudgetMs:  req.LatencyBudgetMs,
+		Seed:             req.PlanSeed,
+		MaxGroups:        req.MaxGroups,
+		MaxReductionFrac: req.MaxReductionFrac,
+	}
+	agg, pe, err := s.simulateAggregate(ctx, req.SimulateRequest, &planCfg)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := headroom.New(context.Background(),
-		headroom.WithFleet(cfg),
-		headroom.WithShards(s.cfg.Shards),
-		headroom.WithPlanConfig(headroom.PlanConfig{
-			LatencyBudgetMs:  req.LatencyBudgetMs,
-			Seed:             req.PlanSeed,
-			MaxGroups:        req.MaxGroups,
-			MaxReductionFrac: req.MaxReductionFrac,
-		}),
-	)
-	if err != nil {
-		return nil, err
-	}
-	agg, err := sess.Simulate(ctx, req.Days)
+	sess, err := s.planSession(planCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +419,12 @@ func (s *Server) computePlan(ctx context.Context, req PlanRequest) (any, error) 
 	if res.CurrentServers > 0 {
 		res.SavingsFrac = 1 - float64(res.RecommendedServers)/float64(res.CurrentServers)
 	}
-	return marshalResult(res)
+	if pe != nil {
+		res.Degraded = true
+		res.FailedPools = pe.FailedPools()
+		res.Failures = shardFailures(pe)
+	}
+	return s.finishResult("plan", res, pe)
 }
 
 // --- validate ------------------------------------------------------------

@@ -12,12 +12,20 @@
 //	POST /v1/forecast   submit a workload-forecast job
 //	GET  /v1/jobs/{id}  job state and, when done, its result
 //	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining or overloaded)
 //	GET  /metrics       Prometheus text exposition
 //
 // Submissions return 202 with a job envelope; pass ?wait=true (or a
 // duration, ?wait=30s) to block until the job is terminal and receive the
 // result inline. Identical requests are answered from the result cache and
 // deduplicated in flight, so repeated what-if queries cost one simulation.
+//
+// Failure semantics: each submission endpoint sits behind a circuit breaker
+// that opens after a run of consecutive job failures and fast-fails 503
+// (with Retry-After) until a half-open probe succeeds. With partial results
+// enabled, simulate/plan jobs that lose some pools return a degraded result
+// listing the failed pools instead of failing whole; degraded results are
+// never stored in the cache.
 package server
 
 import (
@@ -26,10 +34,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"headroom/internal/breaker"
+	"headroom/internal/faults"
 	"headroom/internal/jobcache"
 	"headroom/internal/jobs"
 )
@@ -55,6 +69,36 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies; default 8 MiB (forecast series
 	// can be large).
 	MaxBodyBytes int64
+	// PartialResults lets sharded simulate/plan jobs tolerate failed
+	// pools: surviving pools aggregate into a degraded result listing the
+	// failures instead of failing the whole job. Degraded results are
+	// never cached.
+	PartialResults bool
+	// RetryAttempts wraps job record sources with headroom.ResilientSource
+	// using this attempt bound, retrying transient shard failures with
+	// backoff before they surface as pool errors. Zero disables source
+	// retries.
+	RetryAttempts int
+	// RetryBackoff is the initial source-retry backoff; default 50 ms
+	// (used only when RetryAttempts > 0).
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive-job-failure count that opens an
+	// endpoint's circuit breaker; default 5, negative disables breakers.
+	BreakerThreshold int
+	// BreakerOpenFor is how long an open breaker fast-fails before
+	// half-opening; default 10 s.
+	BreakerOpenFor time.Duration
+	// BreakerProbes is the consecutive half-open successes that close a
+	// breaker; default 1.
+	BreakerProbes int
+	// ReadyHighWatermark marks the server not-ready (/readyz 503) while
+	// the pending queue is at or above it; default 3/4 of the queue depth.
+	ReadyHighWatermark int
+	// Faults, when set, injects deterministic faults into every job's
+	// record source — the chaos-testing hook (see internal/faults).
+	Faults *faults.Injector
+	// Clock overrides time.Now for the circuit breakers, for tests.
+	Clock func() time.Time
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -72,33 +116,103 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.RetryAttempts > 0 && c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 10 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 1
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
 	return c
 }
 
-// Server wires handlers, the job queue, the result cache and metrics.
+// readyHighWatermark resolves the configured not-ready queue threshold
+// against the queue's actual depth bound.
+func (c Config) readyHighWatermark(queueDepth int) int {
+	if c.ReadyHighWatermark > 0 {
+		return c.ReadyHighWatermark
+	}
+	hwm := queueDepth * 3 / 4
+	if hwm < 1 {
+		hwm = 1
+	}
+	return hwm
+}
+
+// Server wires handlers, the job queue, the result cache, the per-endpoint
+// circuit breakers and metrics.
 type Server struct {
-	cfg     Config
-	queue   *jobs.Queue
-	cache   *jobcache.Cache
-	reg     *registry
-	mux     *http.ServeMux
-	handler http.Handler
+	cfg      Config
+	queue    *jobs.Queue
+	cache    *jobcache.Cache
+	reg      *registry
+	mux      *http.ServeMux
+	handler  http.Handler
+	breakers map[string]*breaker.Breaker // by job kind; nil when disabled
+	readyHWM int
+	draining atomic.Bool
+	rate     rateTracker
 
 	m serverMetrics
 }
 
 // serverMetrics holds the pre-registered metric series.
 type serverMetrics struct {
-	jobsSubmitted map[string]*counter // by kind
-	jobsDone      map[string]*counter
-	jobsFailed    map[string]*counter
-	reqTotal      map[string]*counter   // by handler
-	reqDuration   map[string]*histogram // by handler
-	badRequests   *counter
-	queueFull     *counter
+	jobsSubmitted   map[string]*counter // by kind
+	jobsDone        map[string]*counter
+	jobsFailed      map[string]*counter
+	jobRetries      map[string]*counter   // job attempts beyond the first
+	degraded        map[string]*counter   // degraded (partial) results served
+	breakerFastFail map[string]*counter   // submissions rejected by an open breaker
+	breakerOpen     map[string]*counter   // transitions into open, by kind
+	breakerHalf     map[string]*counter   // transitions into half_open
+	breakerClosed   map[string]*counter   // transitions into closed
+	reqTotal        map[string]*counter   // by handler
+	reqDuration     map[string]*histogram // by handler
+	badRequests     *counter
+	queueFull       *counter
+	notReady        *counter
+	sourceRetries   *counter
+}
+
+// rateTracker keeps an exponentially weighted mean of job service time so
+// 503 responses can derive an honest Retry-After from queue depth.
+type rateTracker struct {
+	mu   sync.Mutex
+	mean float64 // seconds; EWMA
+	n    int64
+}
+
+func (rt *rateTracker) observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := d.Seconds()
+	if rt.n == 0 {
+		rt.mean = s
+	} else {
+		const alpha = 0.2
+		rt.mean = alpha*s + (1-alpha)*rt.mean
+	}
+	rt.n++
+}
+
+// meanSeconds returns the observed mean service time, or false before any
+// job has completed.
+func (rt *rateTracker) meanSeconds() (float64, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.mean, rt.n > 0
 }
 
 // endpoints the server serves jobs for, used to pre-register labelled
@@ -121,10 +235,44 @@ func New(cfg Config) *Server {
 		Timeout:       cfg.JobTimeout,
 		OnStateChange: s.onJobState,
 	})
+	s.readyHWM = cfg.readyHighWatermark(s.queue.QueueDepth())
 	s.initMetrics()
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = make(map[string]*breaker.Breaker, len(jobKinds))
+		for _, kind := range jobKinds {
+			kind := kind
+			s.breakers[kind] = breaker.New(breaker.Config{
+				Threshold: cfg.BreakerThreshold,
+				OpenFor:   cfg.BreakerOpenFor,
+				Probes:    cfg.BreakerProbes,
+				Now:       cfg.Clock,
+				OnTransition: func(from, to breaker.State) {
+					s.onBreakerTransition(kind, from, to)
+				},
+			})
+		}
+	}
 	s.routes()
 	s.handler = s.mux
 	return s
+}
+
+// onBreakerTransition feeds breaker state changes into the transition
+// counters and the lifecycle log.
+func (s *Server) onBreakerTransition(kind string, from, to breaker.State) {
+	s.cfg.Logf("capserved: breaker %s: %s -> %s", kind, from, to)
+	var c *counter
+	switch to {
+	case breaker.Open:
+		c = s.m.breakerOpen[kind]
+	case breaker.HalfOpen:
+		c = s.m.breakerHalf[kind]
+	case breaker.Closed:
+		c = s.m.breakerClosed[kind]
+	}
+	if c != nil {
+		c.Inc()
+	}
 }
 
 func (s *Server) initMetrics() {
@@ -132,6 +280,12 @@ func (s *Server) initMetrics() {
 	m.jobsSubmitted = map[string]*counter{}
 	m.jobsDone = map[string]*counter{}
 	m.jobsFailed = map[string]*counter{}
+	m.jobRetries = map[string]*counter{}
+	m.degraded = map[string]*counter{}
+	m.breakerFastFail = map[string]*counter{}
+	m.breakerOpen = map[string]*counter{}
+	m.breakerHalf = map[string]*counter{}
+	m.breakerClosed = map[string]*counter{}
 	m.reqTotal = map[string]*counter{}
 	m.reqDuration = map[string]*histogram{}
 	for _, kind := range jobKinds {
@@ -141,8 +295,29 @@ func (s *Server) initMetrics() {
 			"Jobs finished, by outcome.", labels{"kind": kind, "state": "done"})
 		m.jobsFailed[kind] = s.reg.counter("capserved_jobs_completed_total",
 			"Jobs finished, by outcome.", labels{"kind": kind, "state": "failed"})
+		m.jobRetries[kind] = s.reg.counter("capserved_job_retries_total",
+			"Job attempts beyond the first (transient-failure retries).", labels{"kind": kind})
+		m.degraded[kind] = s.reg.counter("capserved_degraded_responses_total",
+			"Jobs that completed degraded: partial results after pool failures.", labels{"kind": kind})
+		m.breakerFastFail[kind] = s.reg.counter("capserved_breaker_fast_fails_total",
+			"Submissions rejected immediately by an open circuit breaker.", labels{"kind": kind})
+		m.breakerOpen[kind] = s.reg.counter("capserved_breaker_transitions_total",
+			"Circuit-breaker state transitions, by destination state.", labels{"kind": kind, "to": "open"})
+		m.breakerHalf[kind] = s.reg.counter("capserved_breaker_transitions_total",
+			"Circuit-breaker state transitions, by destination state.", labels{"kind": kind, "to": "half_open"})
+		m.breakerClosed[kind] = s.reg.counter("capserved_breaker_transitions_total",
+			"Circuit-breaker state transitions, by destination state.", labels{"kind": kind, "to": "closed"})
+		kind := kind
+		s.reg.gauge("capserved_breaker_state",
+			"Circuit-breaker position (0 closed, 1 open, 2 half-open).", labels{"kind": kind},
+			func() float64 {
+				if br := s.breakers[kind]; br != nil {
+					return float64(br.State())
+				}
+				return 0
+			})
 	}
-	for _, h := range append([]string{"jobs", "healthz", "metrics"}, jobKinds...) {
+	for _, h := range append([]string{"jobs", "healthz", "readyz", "metrics"}, jobKinds...) {
 		m.reqTotal[h] = s.reg.counter("capserved_http_requests_total",
 			"HTTP requests served, by handler.", labels{"handler": h})
 		m.reqDuration[h] = s.reg.histogram("capserved_request_duration_seconds",
@@ -152,6 +327,21 @@ func (s *Server) initMetrics() {
 		"Requests rejected by validation.", nil)
 	m.queueFull = s.reg.counter("capserved_queue_rejections_total",
 		"Submissions rejected because the job queue was full.", nil)
+	m.notReady = s.reg.counter("capserved_not_ready_total",
+		"Readiness probes answered not-ready (draining or overloaded).", nil)
+	m.sourceRetries = s.reg.counter("capserved_source_retries_total",
+		"Record-source stream retries (transient shard failures).", nil)
+	s.reg.counterFunc("capserved_injected_faults_total",
+		"Faults injected by the chaos fault injector (0 when disabled).", nil,
+		func() float64 {
+			if s.cfg.Faults == nil {
+				return 0
+			}
+			return float64(s.cfg.Faults.Injected())
+		})
+	s.reg.counterFunc("capserved_cache_uncacheable_total",
+		"Computations whose (degraded) result was served but not cached.", nil,
+		func() float64 { return float64(s.cache.Stats().Uncacheable) })
 
 	s.reg.gauge("capserved_jobs_running", "Jobs currently executing.", nil,
 		func() float64 { return float64(s.queue.Stats().Running) })
@@ -172,18 +362,80 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.cache.Stats().Size) })
 }
 
-// onJobState feeds queue transitions into the completion counters.
+// onJobState feeds queue transitions into the completion counters, the
+// service-rate estimate behind Retry-After, and the circuit breakers.
 func (s *Server) onJobState(snap jobs.Snapshot) {
 	switch snap.State {
+	case jobs.Running:
+		if snap.Attempts > 1 {
+			if c, ok := s.m.jobRetries[snap.Kind]; ok {
+				c.Inc()
+			}
+		}
 	case jobs.Done:
 		if c, ok := s.m.jobsDone[snap.Kind]; ok {
 			c.Inc()
+		}
+		s.observeCompletion(snap)
+		if br := s.breakerFor(snap.Kind); br != nil {
+			br.Success()
 		}
 	case jobs.Failed:
 		if c, ok := s.m.jobsFailed[snap.Kind]; ok {
 			c.Inc()
 		}
+		s.observeCompletion(snap)
+		if br := s.breakerFor(snap.Kind); br != nil {
+			br.Failure()
+		}
 	}
+}
+
+func (s *Server) observeCompletion(snap jobs.Snapshot) {
+	if !snap.Started.IsZero() && !snap.Finished.IsZero() {
+		s.rate.observe(snap.Finished.Sub(snap.Started))
+	}
+}
+
+// breakerFor returns the endpoint's breaker, or nil when disabled.
+func (s *Server) breakerFor(kind string) *breaker.Breaker {
+	if s.breakers == nil {
+		return nil
+	}
+	return s.breakers[kind]
+}
+
+// BreakerState exposes an endpoint's breaker position for tests; the second
+// return is false when breakers are disabled.
+func (s *Server) BreakerState(kind string) (breaker.State, bool) {
+	br := s.breakerFor(kind)
+	if br == nil {
+		return breaker.Closed, false
+	}
+	return br.State(), true
+}
+
+// retryAfterSeconds derives the Retry-After hint for a 503: the estimated
+// time to drain `depth` queued jobs across the worker pool at the observed
+// mean service rate, clamped to [1 s, 120 s]. Before any job has completed
+// the estimate falls back to 1 s.
+func (s *Server) retryAfterSeconds(depth int) int {
+	mean, ok := s.rate.meanSeconds()
+	if !ok {
+		return 1
+	}
+	workers := s.queue.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	secs := int(math.Ceil(float64(depth+1) * mean / float64(workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 120 {
+		secs = 120
+	}
+	return secs
 }
 
 func (s *Server) routes() {
@@ -193,6 +445,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/forecast", s.instrument("forecast", s.handleSubmit("forecast")))
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", http.HandlerFunc(s.handleJob)))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /readyz", s.instrument("readyz", http.HandlerFunc(s.handleReadyz)))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", http.HandlerFunc(s.handleMetrics)))
 }
 
@@ -232,6 +485,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 
 	s.cfg.Logf("capserved: draining (timeout %s)", s.cfg.DrainTimeout)
+	s.draining.Store(true) // flips /readyz to 503 so load balancers stop sending
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := httpSrv.Shutdown(drainCtx)
@@ -248,7 +502,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // Shutdown drains the job queue directly, for callers using Handler with
 // their own HTTP server (httptest).
-func (s *Server) Shutdown(ctx context.Context) error { return s.queue.Close(ctx) }
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.queue.Close(ctx)
+}
 
 // --- HTTP plumbing -------------------------------------------------------
 
@@ -333,10 +590,24 @@ func (s *Server) handleSubmit(kind string) http.Handler {
 			s.badRequest(w, err)
 			return
 		}
+		// Circuit breaker: when this endpoint's jobs keep failing, reject
+		// immediately instead of queueing doomed work. Retry-After is the
+		// time until the breaker half-opens for a probe.
+		br := s.breakerFor(kind)
+		if br != nil && !br.Allow() {
+			s.m.breakerFastFail[kind].Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterCeil(br.RetryAfter())))
+			writeJSON(w, http.StatusServiceUnavailable,
+				apiError{Error: fmt.Sprintf("circuit breaker open for %s: recent jobs kept failing", kind)})
+			return
+		}
 		// The cache key is the canonicalized request — defaults applied,
 		// shard count excluded (sharding never changes results).
 		key, err := jobcache.Key(kind, canonical)
 		if err != nil {
+			if br != nil {
+				br.Release()
+			}
 			s.badRequest(w, err)
 			return
 		}
@@ -346,14 +617,24 @@ func (s *Server) handleSubmit(kind string) http.Handler {
 		})
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
+			if br != nil {
+				br.Release() // the job never ran; don't leak a probe slot
+			}
 			s.m.queueFull.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(s.queue.Stats().Depth)))
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 			return
 		case errors.Is(err, jobs.ErrClosed):
+			if br != nil {
+				br.Release()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(s.queue.Stats().Depth)))
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
 			return
 		case err != nil:
+			if br != nil {
+				br.Release()
+			}
 			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 			return
 		}
@@ -419,6 +700,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"running": st.Running,
 		"depth":   st.Depth,
 	})
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: the process
+// is alive but should not receive new traffic while it is draining or the
+// pending queue is at the high watermark.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.queue.Stats()
+	switch {
+	case s.draining.Load():
+		s.m.notReady.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+		})
+	case st.Depth >= s.readyHWM:
+		s.m.notReady.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(st.Depth)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":         "overloaded",
+			"depth":          st.Depth,
+			"high_watermark": s.readyHWM,
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ready",
+			"depth":          st.Depth,
+			"high_watermark": s.readyHWM,
+		})
+	}
+}
+
+// retryAfterCeil rounds a duration up to whole seconds (minimum 1).
+func retryAfterCeil(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,190 @@
+package headroom_test
+
+// Chaos tests for partial-failure sharded aggregation: pools drop out of a
+// run (via the deterministic fault injector) and the surviving pools must
+// aggregate bit-identically to a fault-free run over just those pools.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"headroom"
+	"headroom/internal/faults"
+	"headroom/internal/leakcheck"
+)
+
+// faultedSession builds a partial-results session over the two-pool fleet
+// with the given injector wrapped around the simulator source.
+func faultedSession(t *testing.T, inj *faults.Injector, shards int, partial bool) *headroom.Session {
+	t.Helper()
+	var src headroom.Source = headroom.NewSimSource(multiPoolFleet(9), 1)
+	if inj != nil {
+		src = inj.Source(src)
+	}
+	s, err := headroom.New(context.Background(),
+		headroom.WithSource(src),
+		headroom.WithShards(shards),
+		headroom.WithPartialResults(partial),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFaultPartialResultsBitIdenticalSurvivors(t *testing.T) {
+	// Kill pool B permanently; pool D must survive untouched.
+	inj := faults.New(7, faults.Rule{Kind: faults.Permanent, Pools: []string{"B"}, At: []int{0}})
+	s := faultedSession(t, inj, 2, true)
+	agg, err := s.Simulate(context.Background(), 0)
+	var pe *headroom.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if agg == nil {
+		t.Fatal("agg = nil, want the surviving shards' aggregate")
+	}
+	if got := pe.FailedPools(); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("FailedPools = %v, want [B]", got)
+	}
+	if pe.Shards != 2 || len(pe.Failed) != 1 {
+		t.Fatalf("partial error = %+v, want 1 of 2 shards failed", pe)
+	}
+
+	// The surviving aggregate must be bit-identical to a fault-free run of
+	// a fleet containing only the surviving pool: per-pool seeding means a
+	// pool's records do not depend on the fleet around it.
+	cfg := multiPoolFleet(9)
+	cfg.Pools = cfg.Pools[1:] // keep D only
+	ref, err := headroom.New(context.Background(), headroom.WithFleet(cfg), headroom.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Simulate(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(agg.Pools(), want.Pools()) {
+		t.Fatalf("surviving pool keys = %v, want %v", agg.Pools(), want.Pools())
+	}
+	for _, key := range want.Pools() {
+		ws, err := want.PoolSeries(key.DC, key.Pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := agg.PoolSeries(key.DC, key.Pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gs, ws) {
+			t.Errorf("%s: degraded-run series differs from fault-free run", key)
+		}
+	}
+}
+
+func TestFaultPartialAllShardsFailed(t *testing.T) {
+	inj := faults.New(7, faults.Rule{Kind: faults.Permanent, At: []int{0}})
+	s := faultedSession(t, inj, 2, true)
+	agg, err := s.Simulate(context.Background(), 0)
+	var pe *headroom.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if agg != nil {
+		t.Fatal("agg != nil, want nil when every shard failed")
+	}
+	if len(pe.Failed) != 2 || pe.Shards != 2 {
+		t.Fatalf("partial error = %+v, want 2 of 2 shards failed", pe)
+	}
+}
+
+func TestFaultDefaultModeFailsWhole(t *testing.T) {
+	inj := faults.New(7, faults.Rule{Kind: faults.Permanent, Pools: []string{"B"}, At: []int{0}})
+	s := faultedSession(t, inj, 2, false)
+	agg, err := s.Simulate(context.Background(), 0)
+	if err == nil || agg != nil {
+		t.Fatalf("Simulate = (%v, %v), want whole-run failure without WithPartialResults", agg, err)
+	}
+	var pe *headroom.PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("err = %v: default mode must not report a partial error", err)
+	}
+}
+
+func TestFaultPartialPanicIsolatedToShard(t *testing.T) {
+	inj := faults.New(7, faults.Rule{Kind: faults.Panic, Pools: []string{"B"}, At: []int{0}})
+	s := faultedSession(t, inj, 2, true)
+	agg, err := s.Simulate(context.Background(), 0)
+	var pe *headroom.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if agg == nil {
+		t.Fatal("agg = nil, want surviving shard despite sibling panic")
+	}
+	if len(pe.Failed) != 1 || !strings.Contains(pe.Failed[0].Err.Error(), "panicked") {
+		t.Fatalf("partial error = %+v, want one recovered panic", pe)
+	}
+	if got := pe.FailedPools(); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("FailedPools = %v, want [B]", got)
+	}
+}
+
+func TestFaultInjectorReplaysIdentically(t *testing.T) {
+	// Same seed + rules + drive sequence ⇒ identical degraded outcome.
+	run := func() (*headroom.PartialError, *headroom.Aggregator) {
+		inj := faults.New(1234,
+			faults.Rule{Kind: faults.Permanent, Pools: []string{"B"}, At: []int{3}},
+			faults.Rule{Kind: faults.Stall, Prob: 0.01, StallFor: time.Microsecond},
+		)
+		s := faultedSession(t, inj, 2, true)
+		agg, err := s.Simulate(context.Background(), 0)
+		var pe *headroom.PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *PartialError", err)
+		}
+		return pe, agg
+	}
+	pe1, agg1 := run()
+	pe2, agg2 := run()
+	if !reflect.DeepEqual(pe1.FailedPools(), pe2.FailedPools()) {
+		t.Fatalf("replay diverged: %v vs %v", pe1.FailedPools(), pe2.FailedPools())
+	}
+	if !reflect.DeepEqual(agg1.Pools(), agg2.Pools()) {
+		t.Fatal("replay diverged: surviving pool keys differ")
+	}
+	for _, key := range agg1.Pools() {
+		s1, err := agg1.PoolSeries(key.DC, key.Pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := agg2.PoolSeries(key.DC, key.Pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: replayed series differs", key)
+		}
+	}
+}
+
+// TestChaosShardedCancelMidStreamNoLeak cancels a sharded, stall-injected
+// run mid-stream and asserts every shard goroutine unwinds.
+func TestChaosShardedCancelMidStreamNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+	inj := faults.New(7, faults.Rule{Kind: faults.Stall, At: []int{50}, StallFor: time.Minute})
+	s := faultedSession(t, inj, 2, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	agg, err := s.Simulate(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Simulate = (%v, %v), want context.Canceled", agg, err)
+	}
+}

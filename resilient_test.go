@@ -1,0 +1,227 @@
+package headroom_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"headroom"
+)
+
+// scriptedSource deterministically replays recs, failing each attempt
+// according to failures: failures[attempt-1] = (#records to emit before
+// failing, error to fail with). Attempts beyond the script succeed.
+type scriptedSource struct {
+	recs     []headroom.Record
+	failures []scriptedFailure
+	attempts int
+}
+
+type scriptedFailure struct {
+	after int
+	err   error
+}
+
+func (s *scriptedSource) Stream(ctx context.Context, emit func(headroom.Record) error) error {
+	attempt := s.attempts
+	s.attempts++
+	for i, r := range s.recs {
+		if attempt < len(s.failures) && i == s.failures[attempt].after {
+			return s.failures[attempt].err
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func nRecords(n int) []headroom.Record {
+	recs := make([]headroom.Record, n)
+	for i := range recs {
+		recs[i] = headroom.Record{Tick: i, DC: "DC 1", Pool: "A", Server: "s0", Online: true, RPS: float64(i)}
+	}
+	return recs
+}
+
+// fastRetry keeps test retries in the microsecond range.
+var fastRetry = headroom.RetryPolicy{MaxAttempts: 3, Backoff: time.Microsecond, MaxBackoff: time.Millisecond}
+
+func TestResilientSourceRetriesTransientExactlyOnce(t *testing.T) {
+	src := &scriptedSource{
+		recs: nRecords(5),
+		failures: []scriptedFailure{
+			{after: 2, err: headroom.Transient(errors.New("blip 1"))},
+			{after: 4, err: headroom.Transient(errors.New("blip 2"))},
+		},
+	}
+	var retries []int
+	policy := fastRetry
+	policy.OnRetry = func(attempt int, err error) { retries = append(retries, attempt) }
+	rs := headroom.ResilientSource(src, policy)
+
+	var got []int
+	err := rs.Stream(context.Background(), func(r headroom.Record) error {
+		got = append(got, r.Tick)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream = %v, want nil after retries", err)
+	}
+	// Each record exactly once, in order, despite two mid-stream failures.
+	if len(got) != 5 {
+		t.Fatalf("records = %v, want 5 exactly-once records", got)
+	}
+	for i, tick := range got {
+		if tick != i {
+			t.Fatalf("records = %v, want in-order ticks 0..4", got)
+		}
+	}
+	if src.attempts != 3 {
+		t.Errorf("attempts = %d, want 3", src.attempts)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Errorf("OnRetry attempts = %v, want [1 2]", retries)
+	}
+}
+
+func TestResilientSourcePermanentNotRetried(t *testing.T) {
+	boom := errors.New("disk on fire")
+	src := &scriptedSource{recs: nRecords(3), failures: []scriptedFailure{{after: 1, err: boom}}}
+	rs := headroom.ResilientSource(src, fastRetry)
+	err := rs.Stream(context.Background(), func(headroom.Record) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the permanent error", err)
+	}
+	if src.attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry of permanent errors)", src.attempts)
+	}
+}
+
+func TestResilientSourceExhaustsAttempts(t *testing.T) {
+	always := headroom.Transient(errors.New("still down"))
+	src := &scriptedSource{recs: nRecords(2), failures: []scriptedFailure{
+		{after: 0, err: always}, {after: 0, err: always}, {after: 0, err: always}, {after: 0, err: always},
+	}}
+	rs := headroom.ResilientSource(src, fastRetry)
+	err := rs.Stream(context.Background(), func(headroom.Record) error { return nil })
+	if !headroom.IsTransient(err) {
+		t.Fatalf("err = %v, want the transient error surfaced after exhaustion", err)
+	}
+	if src.attempts != 3 {
+		t.Errorf("attempts = %d, want MaxAttempts=3", src.attempts)
+	}
+}
+
+func TestResilientSourceConsumerErrorNotRetried(t *testing.T) {
+	src := &scriptedSource{recs: nRecords(3)}
+	rs := headroom.ResilientSource(src, fastRetry)
+	sentinel := errors.New("consumer said stop")
+	err := rs.Stream(context.Background(), func(r headroom.Record) error {
+		if r.Tick == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the consumer error as-is", err)
+	}
+	if src.attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (consumer errors are not source failures)", src.attempts)
+	}
+}
+
+// stallingSource blocks until the context is cancelled on its first attempt
+// and streams cleanly on later ones.
+type stallingSource struct {
+	recs     []headroom.Record
+	attempts int
+}
+
+func (s *stallingSource) Stream(ctx context.Context, emit func(headroom.Record) error) error {
+	s.attempts++
+	if s.attempts == 1 {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	for _, r := range s.recs {
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestResilientSourceAttemptTimeoutUnsticksStall(t *testing.T) {
+	src := &stallingSource{recs: nRecords(3)}
+	policy := fastRetry
+	policy.AttemptTimeout = 20 * time.Millisecond
+	rs := headroom.ResilientSource(src, policy)
+	var got int
+	err := rs.Stream(context.Background(), func(headroom.Record) error { got++; return nil })
+	if err != nil {
+		t.Fatalf("Stream = %v, want nil after the stalled attempt is retried", err)
+	}
+	if got != 3 || src.attempts != 2 {
+		t.Errorf("records = %d attempts = %d, want 3 records over 2 attempts", got, src.attempts)
+	}
+}
+
+type panicSource struct{}
+
+func (panicSource) Stream(context.Context, func(headroom.Record) error) error {
+	panic("wild pointer")
+}
+
+func TestResilientSourcePanicBecomesPermanentError(t *testing.T) {
+	rs := headroom.ResilientSource(panicSource{}, fastRetry)
+	err := rs.Stream(context.Background(), func(headroom.Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want recovered panic error", err)
+	}
+}
+
+func TestResilientSourceCancellationWins(t *testing.T) {
+	always := headroom.Transient(errors.New("down"))
+	src := &scriptedSource{recs: nRecords(1), failures: []scriptedFailure{
+		{after: 0, err: always}, {after: 0, err: always}, {after: 0, err: always},
+	}}
+	policy := fastRetry
+	policy.Backoff = time.Hour // the retry sleep must yield to cancellation
+	rs := headroom.ResilientSource(src, policy)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := rs.Stream(ctx, func(headroom.Record) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ctx deadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry backoff ignored context cancellation")
+	}
+}
+
+func TestResilientSourcePreservesShardingAndPoolNames(t *testing.T) {
+	recs := []headroom.Record{
+		{Tick: 0, DC: "DC 1", Pool: "A", Server: "s0", Online: true},
+		{Tick: 0, DC: "DC 1", Pool: "B", Server: "s0", Online: true},
+	}
+	rs := headroom.ResilientSource(headroom.NewReplaySource(recs), fastRetry)
+	sh, ok := rs.(headroom.ShardedSource)
+	if !ok {
+		t.Fatal("resilient wrapper lost ShardedSource")
+	}
+	shards := sh.Shards(2)
+	if len(shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(shards))
+	}
+	pn, ok := rs.(headroom.PoolNamer)
+	if !ok {
+		t.Fatal("resilient wrapper lost PoolNamer")
+	}
+	if names := pn.PoolNames(); len(names) != 2 {
+		t.Fatalf("PoolNames = %v, want both pools", names)
+	}
+}

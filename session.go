@@ -44,6 +44,7 @@ type Session struct {
 	shards   int
 	plan     PlanConfig
 	seed     int64
+	partial  bool
 }
 
 // Option configures a Session under construction.
@@ -92,6 +93,22 @@ func WithSource(src Source) Option {
 func WithPlanConfig(cfg PlanConfig) Option {
 	return func(s *Session) error {
 		s.plan = cfg
+		return nil
+	}
+}
+
+// WithPartialResults lets sharded aggregation tolerate failed shards: with
+// it enabled, Simulate and Aggregate no longer abort the whole run when one
+// shard (pool group) fails. Surviving shards aggregate normally and the
+// failed ones are reported through a *PartialError (detect with errors.As),
+// so callers can serve a degraded result instead of none. Failed shards do
+// not cancel their siblings. Without the option (the default), the first
+// shard failure cancels the remaining shards promptly and the run fails
+// whole. In both modes a panicking shard is isolated: the panic is recovered
+// and reported as that shard's error.
+func WithPartialResults(enabled bool) Option {
+	return func(s *Session) error {
+		s.partial = enabled
 		return nil
 	}
 }
@@ -213,7 +230,9 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 
 	// One goroutine and one private aggregator per shard; merge in shard
 	// order afterwards. Shards own disjoint (pool, datacenter) keys, so the
-	// merged aggregator is bit-identical to a single sequential pass.
+	// merged aggregator is bit-identical to a single sequential pass. Each
+	// shard goroutine is isolated: a panic is recovered into that shard's
+	// error instead of tearing the process down.
 	aggs := make([]*Aggregator, len(subs))
 	errs := make([]error, len(subs))
 	wctx, cancel := context.WithCancel(ctx)
@@ -223,16 +242,30 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 		wg.Add(1)
 		go func(i int, sub Source) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = fmt.Errorf("headroom: shard %d panicked: %v", i, v)
+					if !s.partial {
+						cancel()
+					}
+				}
+			}()
 			agg := metrics.NewAggregator()
 			if err := sub.Stream(wctx, func(r Record) error { agg.Add(r); return nil }); err != nil {
 				errs[i] = err
-				cancel() // fail fast: stop sibling shards
+				if !s.partial {
+					cancel() // fail fast: stop sibling shards
+				}
 				return
 			}
 			aggs[i] = agg
 		}(i, sub)
 	}
 	wg.Wait()
+
+	if s.partial {
+		return mergePartial(ctx, subs, aggs, errs)
+	}
 
 	var failure error
 	for _, err := range errs {
@@ -256,6 +289,33 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 		out.Merge(a)
 	}
 	return out, nil
+}
+
+// mergePartial combines the surviving shards of a partial-results fan-out
+// and reports the failed ones as a *PartialError. Cancellation of the caller
+// context still fails the whole run.
+func mergePartial(ctx context.Context, subs []Source, aggs []*Aggregator, errs []error) (*Aggregator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var out *Aggregator
+	pe := &PartialError{Shards: len(subs)}
+	for i := range subs {
+		if errs[i] != nil {
+			pe.Failed = append(pe.Failed, PoolError{Shard: i, Pools: poolNamesOf(subs[i]), Err: errs[i]})
+			continue
+		}
+		if out == nil {
+			out = aggs[i]
+		} else {
+			out.Merge(aggs[i])
+		}
+	}
+	if len(pe.Failed) == 0 {
+		return out, nil
+	}
+	// out is nil when every shard failed: no partial result to serve.
+	return out, pe
 }
 
 // Stream streams a record source sequentially through emit, for workloads

@@ -69,6 +69,16 @@ func (s *simSource) Stream(ctx context.Context, emit func(Record) error) error {
 	return sm.RunContext(ctx, s.days*sm.TicksPerDay(), emit)
 }
 
+// PoolNames lists the configured pools, attributing shard failures to pool
+// names (see PoolNamer).
+func (s *simSource) PoolNames() []string {
+	out := make([]string, len(s.cfg.Pools))
+	for i, pc := range s.cfg.Pools {
+		out[i] = pc.Name
+	}
+	return out
+}
+
 func (s *simSource) Shards(n int) []Source {
 	if n > len(s.cfg.Pools) {
 		n = len(s.cfg.Pools)
@@ -126,6 +136,9 @@ func NewSynthSource(pool PoolConfig, profile Profile, ticksPerLevel int, seed in
 	return &synthSource{pool: pool, profile: profile, ticksPerLevel: ticksPerLevel, seed: seed}
 }
 
+// PoolNames identifies the single pool the replay drives.
+func (s *synthSource) PoolNames() []string { return []string{s.pool.Name} }
+
 func (s *synthSource) Stream(ctx context.Context, emit func(Record) error) error {
 	recs, err := synth.ReplayContext(ctx, s.pool, s.profile, s.ticksPerLevel, s.seed)
 	if err != nil {
@@ -150,6 +163,19 @@ func NewReplaySource(recs []Record) ShardedSource {
 
 func (s *replaySource) Stream(ctx context.Context, emit func(Record) error) error {
 	return emitAll(ctx, s.recs, emit)
+}
+
+// PoolNames lists the distinct pool names in the trace, in first-seen order.
+func (s *replaySource) PoolNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range s.recs {
+		if !seen[r.Pool] {
+			seen[r.Pool] = true
+			out = append(out, r.Pool)
+		}
+	}
+	return out
 }
 
 func (s *replaySource) Shards(n int) []Source {
@@ -213,6 +239,9 @@ var (
 	_ ShardedSource = (*simSource)(nil)
 	_ Source        = (*synthSource)(nil)
 	_ ShardedSource = (*replaySource)(nil)
+	_ PoolNamer     = (*simSource)(nil)
+	_ PoolNamer     = (*synthSource)(nil)
+	_ PoolNamer     = (*replaySource)(nil)
 )
 
 // ErrNoSource reports an operation on a session configured with neither
