@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"headroom"
+	"headroom/internal/obs"
 	"headroom/internal/trace"
 )
 
@@ -36,10 +37,11 @@ func main() {
 func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("capplan", flag.ContinueOnError)
 	var (
-		in     = fs.String("in", "", "input trace file (csv or jsonl by extension)")
-		budget = fs.Float64("budget", 5, "acceptable latency increase in ms")
-		seed   = fs.Int64("seed", 1, "seed for clustering and robust fits")
-		shards = fs.Int("shards", 0, "parallel aggregation shards (0 = one per CPU)")
+		in       = fs.String("in", "", "input trace file (csv or jsonl by extension)")
+		budget   = fs.Float64("budget", 5, "acceptable latency increase in ms")
+		seed     = fs.Int64("seed", 1, "seed for clustering and robust fits")
+		shards   = fs.Int("shards", 0, "parallel aggregation shards (0 = one per CPU)")
+		traceOut = fs.String("trace-out", "", "write a Chrome trace_event JSON of the run (load at chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +79,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 	if len(records) == 0 {
 		return fmt.Errorf("trace %q is empty", *in)
+	}
+
+	if *traceOut != "" {
+		var finish func() error
+		ctx, finish = obs.FileTrace(ctx, "capplan", *traceOut)
+		defer func() {
+			if err := finish(); err != nil {
+				fmt.Fprintln(os.Stderr, "capplan:", err)
+			}
+		}()
 	}
 
 	s, err := headroom.New(ctx,

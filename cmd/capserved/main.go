@@ -24,13 +24,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"headroom/internal/obs"
 	"headroom/internal/server"
 )
 
@@ -63,6 +64,11 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		brThreshold   = fs.Int("breaker-threshold", 0, "consecutive job failures before an endpoint's circuit opens (0 = default 5, negative = disabled)")
 		brOpenFor     = fs.Duration("breaker-open-for", 0, "how long an open circuit fast-fails before probing (0 = default 10s)")
 		readyHWM      = fs.Int("ready-watermark", 0, "queue depth at which /readyz reports overloaded (0 = 3/4 of queue depth)")
+
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		debugAddr = fs.String("debug-addr", "", "optional second listener serving /debug/pprof, /debug/traces and /debug/goroutines")
+		traceRing = fs.Int("trace-ring", 128, "recent traces retained for /debug/traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +108,18 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	if *readyHWM < 0 {
 		return fail("ready-watermark must be >= 0, got %d", *readyHWM)
 	}
+	if !obs.ValidFormat(*logFormat) {
+		return fail("log-format must be text or json, got %q", *logFormat)
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if *traceRing < 1 {
+		return fail("trace-ring must be >= 1, got %d", *traceRing)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+	tracer := obs.NewTracer(*traceRing)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -109,6 +127,20 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	}
 	if ready != nil {
 		ready <- ln.Addr()
+	}
+
+	// The optional debug listener carries the profiling and tracing surface
+	// on a separate port so it can stay firewalled off from the API.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("listen on debug addr %s: %w", *debugAddr, err)
+		}
+		dsrv := &http.Server{Handler: obs.DebugMux(tracer), ReadHeaderTimeout: 10 * time.Second}
+		go dsrv.Serve(dln)
+		defer dsrv.Close()
+		logger.Info("debug listening", "addr", dln.Addr().String())
 	}
 
 	srv := server.New(server.Config{
@@ -124,7 +156,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		BreakerThreshold:   *brThreshold,
 		BreakerOpenFor:     *brOpenFor,
 		ReadyHighWatermark: *readyHWM,
-		Logf:               log.New(os.Stderr, "", log.LstdFlags).Printf,
+		Logger:             logger,
+		Tracer:             tracer,
 	})
 	return srv.Serve(ctx, ln)
 }

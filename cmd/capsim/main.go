@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"headroom"
+	"headroom/internal/obs"
 	"headroom/internal/trace"
 )
 
@@ -34,11 +35,12 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("capsim", flag.ContinueOnError)
 	var (
-		days   = fs.Int("days", 1, "days to simulate")
-		seed   = fs.Int64("seed", 1, "deterministic seed")
-		format = fs.String("format", "csv", "output format: csv or jsonl")
-		out    = fs.String("out", "", "output file (default stdout)")
-		pools  = fs.String("pools", "", "comma-separated pool names to keep (default: all)")
+		days     = fs.Int("days", 1, "days to simulate")
+		seed     = fs.Int64("seed", 1, "deterministic seed")
+		format   = fs.String("format", "csv", "output format: csv or jsonl")
+		out      = fs.String("out", "", "output file (default stdout)")
+		pools    = fs.String("pools", "", "comma-separated pool names to keep (default: all)")
+		traceOut = fs.String("trace-out", "", "write a Chrome trace_event JSON of the run (load at chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,15 +100,30 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("unknown format %q (want csv or jsonl)", *format)
 	}
 
+	if *traceOut != "" {
+		var finish func() error
+		ctx, finish = obs.FileTrace(ctx, "capsim", *traceOut)
+		defer func() {
+			if err := finish(); err != nil {
+				fmt.Fprintln(os.Stderr, "capsim:", err)
+			}
+		}()
+	}
+
 	s, err := headroom.New(ctx, headroom.WithSource(headroom.NewSimSource(cfg, *days)))
 	if err != nil {
 		return err
 	}
 	var n int
-	if err := s.Stream(ctx, nil, func(r headroom.Record) error {
+	sctx, sp := obs.StartSpan(ctx, "capsim.stream", obs.Int("days", *days))
+	err = s.Stream(sctx, nil, func(r headroom.Record) error {
 		n++
 		return write(r)
-	}); err != nil {
+	})
+	sp.SetAttr(obs.Int("records", n))
+	sp.RecordError(err)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	if err := flush(); err != nil {

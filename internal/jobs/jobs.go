@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"headroom/internal/obs"
 )
 
 // State is a job's lifecycle phase.
@@ -77,6 +79,13 @@ type Job struct {
 	fn   Func
 	done chan struct{}
 
+	// span covers the job's whole lifetime (enqueue → terminal state) when
+	// the submitting context carried a trace; vals propagates the submit
+	// context's values (trace, request id) into the worker, detached from
+	// its cancellation.
+	span *obs.Span
+	vals context.Context
+
 	mu        sync.Mutex
 	state     State
 	result    any
@@ -88,6 +97,9 @@ type Job struct {
 	onFinish  func(*Job)
 	onRunning func(*Job)
 }
+
+// TraceID returns the trace the job was submitted under, or "".
+func (j *Job) TraceID() string { return j.span.TraceID() }
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() State {
@@ -107,6 +119,8 @@ type Snapshot struct {
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
+	// TraceID identifies the trace the job was submitted under, or "".
+	TraceID string
 }
 
 // Snapshot returns a consistent copy of the job's observable state.
@@ -117,6 +131,7 @@ func (j *Job) Snapshot() Snapshot {
 		ID: j.ID, Kind: j.Kind, State: j.state,
 		Result: j.result, Err: j.err, Attempts: j.attempts,
 		Created: j.created, Started: j.started, Finished: j.finished,
+		TraceID: j.span.TraceID(),
 	}
 }
 
@@ -263,6 +278,19 @@ func (q *Queue) QueueDepth() int { return q.cfg.QueueDepth }
 // pending queue is full it returns ErrQueueFull, and after Close it returns
 // ErrClosed.
 func (q *Queue) Submit(kind string, fn Func) (*Job, error) {
+	return q.SubmitCtx(context.Background(), kind, fn)
+}
+
+// SubmitCtx is Submit with a caller context: the context's values (active
+// trace span, request id) propagate into the job's execution context —
+// detached from the caller's cancellation, since the job outlives the
+// request that submitted it. When ctx carries a trace, the job records an
+// enqueue→terminal span with queue-wait and run-time attributes, and its
+// spans (and the session spans inside it) nest under the caller's.
+func (q *Queue) SubmitCtx(ctx context.Context, kind string, fn Func) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	j := &Job{
 		ID:      fmt.Sprintf("j-%06d", q.seq.Add(1)),
 		Kind:    kind,
@@ -271,6 +299,9 @@ func (q *Queue) Submit(kind string, fn Func) (*Job, error) {
 		state:   Pending,
 		created: time.Now(),
 	}
+	vals, span := obs.StartSpan(ctx, "jobs.job", obs.Str("kind", kind), obs.Str("job_id", j.ID))
+	j.span = span
+	j.vals = vals
 	if cb := q.cfg.OnStateChange; cb != nil {
 		j.onRunning = func(j *Job) { cb(j.Snapshot()) }
 		j.onFinish = func(j *Job) { cb(j.Snapshot()) }
@@ -367,20 +398,61 @@ func (q *Queue) worker() {
 	}
 }
 
+// valuesCtx carries cancellation and deadline from base while resolving
+// values through vals first — how a job runs under the queue's shutdown
+// context yet keeps the submitting request's trace linkage.
+type valuesCtx struct {
+	context.Context                 // base: cancellation, deadline
+	vals            context.Context // values: trace span, request metadata
+}
+
+func (c valuesCtx) Value(k any) any {
+	if v := c.vals.Value(k); v != nil {
+		return v
+	}
+	return c.Context.Value(k)
+}
+
 // run executes one job, retrying transient failures with exponential
 // backoff until MaxAttempts or the job deadline.
 func (q *Queue) run(j *Job) {
-	ctx := q.hard
+	var ctx context.Context = valuesCtx{Context: q.hard, vals: j.vals}
 	var cancel context.CancelFunc
 	if q.cfg.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, q.cfg.Timeout)
 		defer cancel()
 	}
+	ctx = obs.WithJobID(ctx, j.ID)
+
+	// Queue-wait vs run split: how long the job sat pending, then how long
+	// it executed (spanning retries).
+	pickup := time.Now()
+	wait := pickup.Sub(j.created)
+	obs.ObserveQueueWait(wait)
+	j.span.Event("jobs.queued", j.created, wait, obs.Int64("queue_wait_ns", wait.Nanoseconds()))
+	defer func() {
+		run := time.Since(pickup)
+		obs.ObserveJobRun(run)
+		snap := j.Snapshot()
+		j.span.SetAttr(
+			obs.Str("state", string(snap.State)),
+			obs.Int("attempts", snap.Attempts),
+			obs.Int64("queue_wait_ns", wait.Nanoseconds()),
+			obs.Int64("run_ns", run.Nanoseconds()),
+		)
+		if snap.Err != nil {
+			j.span.RecordError(snap.Err)
+		}
+		j.span.End()
+	}()
 
 	backoff := q.cfg.Backoff
 	for attempt := 1; ; attempt++ {
 		j.setRunning()
-		result, err := safeCall(ctx, j.fn)
+		attemptCtx, sp := obs.StartSpan(ctx, "jobs.attempt", obs.Int("attempt", attempt))
+		result, err := safeCall(attemptCtx, j.fn)
+		sp.RecordError(err)
+		sp.End()
 		if err == nil {
 			j.finish(result, nil)
 			return

@@ -40,6 +40,7 @@ func Check(t testing.TB) {
 		}
 		buf := make([]byte, 1<<20)
 		buf = buf[:runtime.Stack(buf, true)]
-		t.Errorf("leakcheck: %d goroutines at cleanup, %d at start; stacks:\n%s", n, start, buf)
+		t.Errorf("leakcheck: %d goroutines at cleanup, %d at start (%s); stacks:\n%s",
+			n, start, summarize(ParseStacks(buf)), buf)
 	})
 }

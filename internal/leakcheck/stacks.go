@@ -1,0 +1,124 @@
+package leakcheck
+
+// Goroutine-stack parsing shared by the leak checker and capserved's
+// GET /debug/goroutines endpoint: runtime.Stack's all-goroutine dump is
+// split into per-goroutine records with ID, state and blocked-for age, so
+// stuck jobs in production can be filtered by how long they have waited.
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Goroutine is one parsed goroutine from a runtime.Stack dump.
+type Goroutine struct {
+	// ID is the runtime goroutine number.
+	ID int64 `json:"id"`
+	// State is the scheduler state from the stack header ("running",
+	// "chan receive", "IO wait", ...).
+	State string `json:"state"`
+	// Wait is how long the goroutine has been blocked, when the runtime
+	// reports it (minute granularity; zero for < 1 minute or running).
+	Wait time.Duration `json:"wait_ns"`
+	// Frames are the stack lines (alternating function and file:line), top
+	// of stack first.
+	Frames []string `json:"frames"`
+}
+
+// ParseStacks parses the output of runtime.Stack(buf, true) into one record
+// per goroutine. Malformed blocks are skipped rather than failing the dump.
+func ParseStacks(buf []byte) []Goroutine {
+	var out []Goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		lines := strings.Split(block, "\n")
+		g, ok := parseHeader(lines[0])
+		if !ok {
+			continue
+		}
+		for _, l := range lines[1:] {
+			if l = strings.TrimRight(l, "\r"); l != "" {
+				g.Frames = append(g.Frames, strings.TrimPrefix(l, "\t"))
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// parseHeader parses "goroutine 123 [chan receive, 5 minutes]:".
+func parseHeader(line string) (Goroutine, bool) {
+	rest, ok := strings.CutPrefix(line, "goroutine ")
+	if !ok {
+		return Goroutine{}, false
+	}
+	idStr, rest, ok := strings.Cut(rest, " [")
+	if !ok {
+		return Goroutine{}, false
+	}
+	id, err := strconv.ParseInt(strings.TrimSpace(idStr), 10, 64)
+	if err != nil {
+		return Goroutine{}, false
+	}
+	state, _, ok := strings.Cut(rest, "]")
+	if !ok {
+		return Goroutine{}, false
+	}
+	g := Goroutine{ID: id, State: state}
+	if st, age, ok := strings.Cut(state, ", "); ok {
+		g.State = st
+		if mins, ok := strings.CutSuffix(age, " minutes"); ok {
+			if m, err := strconv.Atoi(strings.TrimSpace(mins)); err == nil {
+				g.Wait = time.Duration(m) * time.Minute
+			}
+		}
+	}
+	return g, true
+}
+
+// DumpGoroutines captures and parses the current all-goroutine stack dump.
+func DumpGoroutines() []Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return ParseStacks(buf[:n])
+		}
+		if len(buf) >= 64<<20 {
+			return ParseStacks(buf) // give up growing; parse what fits
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// summarize renders a by-state count of goroutines, for leak reports:
+// "12 total: 8 chan receive, 2 select, 2 running".
+func summarize(gs []Goroutine) string {
+	counts := map[string]int{}
+	var order []string
+	for _, g := range gs {
+		if counts[g.State] == 0 {
+			order = append(order, g.State)
+		}
+		counts[g.State]++
+	}
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(len(gs)))
+	b.WriteString(" total")
+	for i, st := range order {
+		if i == 0 {
+			b.WriteString(": ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.Itoa(counts[st]))
+		b.WriteByte(' ')
+		b.WriteString(st)
+	}
+	return b.String()
+}

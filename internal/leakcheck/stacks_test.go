@@ -1,0 +1,103 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleDump = `goroutine 1 [running]:
+main.main()
+	/app/main.go:10 +0x20
+
+goroutine 22 [chan receive, 7 minutes]:
+headroom/internal/jobs.(*Queue).worker(0xc000120000)
+	/app/internal/jobs/jobs.go:394 +0x65
+created by headroom/internal/jobs.New
+	/app/internal/jobs/jobs.go:265 +0x18a
+
+goroutine 35 [IO wait]:
+net.(*netFD).Read(0xc0001a0000)
+	/usr/local/go/src/net/fd_posix.go:55 +0x29
+
+not a goroutine header
+some trailing garbage
+`
+
+func TestParseStacks(t *testing.T) {
+	gs := ParseStacks([]byte(sampleDump))
+	if len(gs) != 3 {
+		t.Fatalf("parsed %d goroutines, want 3 (garbage block skipped)", len(gs))
+	}
+
+	if gs[0].ID != 1 || gs[0].State != "running" || gs[0].Wait != 0 {
+		t.Errorf("g0 = %+v", gs[0])
+	}
+	if len(gs[0].Frames) != 2 || gs[0].Frames[0] != "main.main()" {
+		t.Errorf("g0 frames = %v", gs[0].Frames)
+	}
+
+	if gs[1].ID != 22 || gs[1].State != "chan receive" {
+		t.Errorf("g1 = %+v", gs[1])
+	}
+	if gs[1].Wait != 7*time.Minute {
+		t.Errorf("g1 wait = %s, want 7m", gs[1].Wait)
+	}
+	if len(gs[1].Frames) != 4 {
+		t.Errorf("g1 frames = %v", gs[1].Frames)
+	}
+	// Tab indentation is stripped from file:line frames.
+	if strings.HasPrefix(gs[1].Frames[1], "\t") {
+		t.Errorf("frame still tab-indented: %q", gs[1].Frames[1])
+	}
+
+	if gs[2].ID != 35 || gs[2].State != "IO wait" || gs[2].Wait != 0 {
+		t.Errorf("g2 = %+v", gs[2])
+	}
+}
+
+func TestParseHeaderMalformed(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"goroutine",
+		"goroutine abc [running]:",
+		"goroutine 5 running",
+		"random text",
+		"goroutine 5 [unterminated",
+	} {
+		if _, ok := parseHeader(line); ok {
+			t.Errorf("parseHeader(%q) should fail", line)
+		}
+	}
+}
+
+func TestDumpGoroutinesSeesSelf(t *testing.T) {
+	gs := DumpGoroutines()
+	if len(gs) == 0 {
+		t.Fatal("dump parsed zero goroutines")
+	}
+	var found bool
+	for _, g := range gs {
+		for _, f := range g.Frames {
+			if strings.Contains(f, "DumpGoroutines") || strings.Contains(f, "TestDumpGoroutinesSeesSelf") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("dump should contain the calling goroutine's stack")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	gs := ParseStacks([]byte(sampleDump))
+	s := summarize(gs)
+	if !strings.HasPrefix(s, "3 total: ") {
+		t.Fatalf("summary = %q", s)
+	}
+	for _, want := range []string{"1 running", "1 chan receive", "1 IO wait"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+// Trace exporters: Chrome trace_event JSON for chrome://tracing (or
+// ui.perfetto.dev), and the FileTrace helper the CLIs use for -trace-out.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// chromeEvent is one trace_event entry. Spans export as complete ("X")
+// events with microsecond timestamps; each span gets its own tid so
+// parallel shard spans render on separate rows instead of overlapping.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders traces as Chrome trace_event JSON, one process per
+// trace. Load the file at chrome://tracing or ui.perfetto.dev.
+func WriteChrome(w io.Writer, traces ...TraceData) error {
+	var events []chromeEvent
+	for pi, td := range traces {
+		pid := pi + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": "trace " + td.TraceID},
+		})
+		for _, sd := range td.Spans {
+			events = append(events, chromeEvent{
+				Name: sd.Name,
+				Cat:  "headroom",
+				Ph:   "X",
+				TS:   float64(sd.Start.UnixNano()) / 1e3,
+				Dur:  float64(sd.Duration.Nanoseconds()) / 1e3,
+				PID:  pid,
+				TID:  sd.SpanID,
+				Args: chromeArgs(sd),
+			})
+		}
+	}
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func chromeArgs(sd SpanData) map[string]any {
+	args := sd.Attrs.Map()
+	if sd.ParentID != 0 {
+		if args == nil {
+			args = make(map[string]any, 1)
+		}
+		args["parent_span"] = sd.ParentID
+	}
+	return args
+}
+
+// FileTrace installs a fresh tracer on ctx and opens a root span named
+// name. The returned finish function ends the root span and writes every
+// recorded trace to path as Chrome trace_event JSON — the CLIs call it
+// once, on exit, when -trace-out is set.
+func FileTrace(ctx context.Context, name, path string) (context.Context, func() error) {
+	tracer := NewTracer(16)
+	ctx = WithTracer(ctx, tracer)
+	ctx, root := StartSpan(ctx, name)
+	return ctx, func() error {
+		root.End()
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("trace out: %w", err)
+		}
+		if err := WriteChrome(f, tracer.Traces()...); err != nil {
+			f.Close()
+			return fmt.Errorf("trace out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace out: %w", err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+// Structured logging: a slog handler that decorates every record with the
+// trace_id/span_id of the context's active span and the context's job_id,
+// so one grep on a trace ID yields every log line the request produced.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ContextHandler wraps a slog.Handler and injects trace_id, span_id and
+// job_id attributes from the record's context.
+type ContextHandler struct {
+	Inner slog.Handler
+}
+
+// Enabled defers to the inner handler.
+func (h ContextHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.Inner.Enabled(ctx, lvl)
+}
+
+// Handle adds the context's correlation attributes and delegates.
+func (h ContextHandler) Handle(ctx context.Context, r slog.Record) error {
+	if ctx != nil {
+		if sp := ActiveSpan(ctx); sp.Enabled() {
+			r.AddAttrs(
+				slog.String("trace_id", sp.TraceID()),
+				slog.Uint64("span_id", sp.SpanID()),
+			)
+		}
+		if id := JobIDFrom(ctx); id != "" {
+			r.AddAttrs(slog.String("job_id", id))
+		}
+	}
+	return h.Inner.Handle(ctx, r)
+}
+
+// WithAttrs wraps the inner handler's WithAttrs.
+func (h ContextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ContextHandler{Inner: h.Inner.WithAttrs(attrs)}
+}
+
+// WithGroup wraps the inner handler's WithGroup.
+func (h ContextHandler) WithGroup(name string) slog.Handler {
+	return ContextHandler{Inner: h.Inner.WithGroup(name)}
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a context-aware logger writing to w. format is "text"
+// or "json"; NewLogger panics on anything else (validate flags first with
+// ValidFormat).
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	switch format {
+	case "json":
+		inner = slog.NewJSONHandler(w, opts)
+	case "text", "":
+		inner = slog.NewTextHandler(w, opts)
+	default:
+		panic(fmt.Sprintf("obs: unknown log format %q", format))
+	}
+	return slog.New(ContextHandler{Inner: inner})
+}
+
+// ValidFormat reports whether format is an accepted -log-format value.
+func ValidFormat(format string) bool {
+	return format == "text" || format == "json" || format == ""
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers in tests.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -301,13 +301,13 @@ func (s *Server) computeSimulate(ctx context.Context, req SimulateRequest) (any,
 		res.FailedPools = pe.FailedPools()
 		res.Failures = shardFailures(pe)
 	}
-	return s.finishResult("simulate", res, pe)
+	return s.finishResult(ctx, "simulate", res, pe)
 }
 
 // finishResult pre-renders a job result, marking degraded (partial) results
 // uncacheable so a later identical request recomputes instead of being
 // served a partial answer as if it were complete.
-func (s *Server) finishResult(kind string, v any, pe *headroom.PartialError) (any, error) {
+func (s *Server) finishResult(ctx context.Context, kind string, v any, pe *headroom.PartialError) (any, error) {
 	raw, err := marshalResult(v)
 	if err != nil {
 		return nil, err
@@ -318,7 +318,8 @@ func (s *Server) finishResult(kind string, v any, pe *headroom.PartialError) (an
 	if c, ok := s.m.degraded[kind]; ok {
 		c.Inc()
 	}
-	s.cfg.Logf("capserved: degraded %s result: %v", kind, pe)
+	s.cfg.Logger.WarnContext(ctx, "degraded result",
+		"kind", kind, "failed_pools", pe.FailedPools(), "error", pe.Error())
 	return jobcache.Uncacheable{Value: raw}, nil
 }
 
@@ -424,7 +425,7 @@ func (s *Server) computePlan(ctx context.Context, req PlanRequest) (any, error) 
 		res.FailedPools = pe.FailedPools()
 		res.Failures = shardFailures(pe)
 	}
-	return s.finishResult("plan", res, pe)
+	return s.finishResult(ctx, "plan", res, pe)
 }
 
 // --- validate ------------------------------------------------------------

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -46,6 +47,8 @@ import (
 	"headroom/internal/faults"
 	"headroom/internal/jobcache"
 	"headroom/internal/jobs"
+	"headroom/internal/obs"
+	"headroom/internal/obs/prom"
 )
 
 // Config sizes a Server. Zero values take the documented defaults.
@@ -99,8 +102,13 @@ type Config struct {
 	Faults *faults.Injector
 	// Clock overrides time.Now for the circuit breakers, for tests.
 	Clock func() time.Time
-	// Logf, when set, receives one line per lifecycle event.
-	Logf func(format string, args ...any)
+	// Logger receives lifecycle events as structured records; log lines
+	// emitted inside a request or job carry its trace_id/span_id/job_id.
+	// Default: discard.
+	Logger *slog.Logger
+	// Tracer retains recent request/job traces for GET /debug/traces.
+	// Default: a ring of 128 traces.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -128,8 +136,11 @@ func (c Config) withDefaults() Config {
 	if c.BreakerProbes <= 0 {
 		c.BreakerProbes = 1
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(128)
 	}
 	return c
 }
@@ -153,7 +164,7 @@ type Server struct {
 	cfg      Config
 	queue    *jobs.Queue
 	cache    *jobcache.Cache
-	reg      *registry
+	reg      *prom.Registry
 	mux      *http.ServeMux
 	handler  http.Handler
 	breakers map[string]*breaker.Breaker // by job kind; nil when disabled
@@ -166,21 +177,21 @@ type Server struct {
 
 // serverMetrics holds the pre-registered metric series.
 type serverMetrics struct {
-	jobsSubmitted   map[string]*counter // by kind
-	jobsDone        map[string]*counter
-	jobsFailed      map[string]*counter
-	jobRetries      map[string]*counter   // job attempts beyond the first
-	degraded        map[string]*counter   // degraded (partial) results served
-	breakerFastFail map[string]*counter   // submissions rejected by an open breaker
-	breakerOpen     map[string]*counter   // transitions into open, by kind
-	breakerHalf     map[string]*counter   // transitions into half_open
-	breakerClosed   map[string]*counter   // transitions into closed
-	reqTotal        map[string]*counter   // by handler
-	reqDuration     map[string]*histogram // by handler
-	badRequests     *counter
-	queueFull       *counter
-	notReady        *counter
-	sourceRetries   *counter
+	jobsSubmitted   map[string]*prom.Counter // by kind
+	jobsDone        map[string]*prom.Counter
+	jobsFailed      map[string]*prom.Counter
+	jobRetries      map[string]*prom.Counter   // job attempts beyond the first
+	degraded        map[string]*prom.Counter   // degraded (partial) results served
+	breakerFastFail map[string]*prom.Counter   // submissions rejected by an open breaker
+	breakerOpen     map[string]*prom.Counter   // transitions into open, by kind
+	breakerHalf     map[string]*prom.Counter   // transitions into half_open
+	breakerClosed   map[string]*prom.Counter   // transitions into closed
+	reqTotal        map[string]*prom.Counter   // by handler
+	reqDuration     map[string]*prom.Histogram // by handler
+	badRequests     *prom.Counter
+	queueFull       *prom.Counter
+	notReady        *prom.Counter
+	sourceRetries   *prom.Counter
 }
 
 // rateTracker keeps an exponentially weighted mean of job service time so
@@ -226,7 +237,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		cache: jobcache.New(cfg.CacheSize),
-		reg:   newRegistry(),
+		reg:   prom.NewRegistry(),
 		mux:   http.NewServeMux(),
 	}
 	s.queue = jobs.New(jobs.Config{
@@ -260,8 +271,9 @@ func New(cfg Config) *Server {
 // onBreakerTransition feeds breaker state changes into the transition
 // counters and the lifecycle log.
 func (s *Server) onBreakerTransition(kind string, from, to breaker.State) {
-	s.cfg.Logf("capserved: breaker %s: %s -> %s", kind, from, to)
-	var c *counter
+	s.cfg.Logger.Info("breaker transition",
+		"kind", kind, "from", from.String(), "to", to.String())
+	var c *prom.Counter
 	switch to {
 	case breaker.Open:
 		c = s.m.breakerOpen[kind]
@@ -277,39 +289,39 @@ func (s *Server) onBreakerTransition(kind string, from, to breaker.State) {
 
 func (s *Server) initMetrics() {
 	m := &s.m
-	m.jobsSubmitted = map[string]*counter{}
-	m.jobsDone = map[string]*counter{}
-	m.jobsFailed = map[string]*counter{}
-	m.jobRetries = map[string]*counter{}
-	m.degraded = map[string]*counter{}
-	m.breakerFastFail = map[string]*counter{}
-	m.breakerOpen = map[string]*counter{}
-	m.breakerHalf = map[string]*counter{}
-	m.breakerClosed = map[string]*counter{}
-	m.reqTotal = map[string]*counter{}
-	m.reqDuration = map[string]*histogram{}
+	m.jobsSubmitted = map[string]*prom.Counter{}
+	m.jobsDone = map[string]*prom.Counter{}
+	m.jobsFailed = map[string]*prom.Counter{}
+	m.jobRetries = map[string]*prom.Counter{}
+	m.degraded = map[string]*prom.Counter{}
+	m.breakerFastFail = map[string]*prom.Counter{}
+	m.breakerOpen = map[string]*prom.Counter{}
+	m.breakerHalf = map[string]*prom.Counter{}
+	m.breakerClosed = map[string]*prom.Counter{}
+	m.reqTotal = map[string]*prom.Counter{}
+	m.reqDuration = map[string]*prom.Histogram{}
 	for _, kind := range jobKinds {
-		m.jobsSubmitted[kind] = s.reg.counter("capserved_jobs_submitted_total",
-			"Jobs accepted into the queue.", labels{"kind": kind})
-		m.jobsDone[kind] = s.reg.counter("capserved_jobs_completed_total",
-			"Jobs finished, by outcome.", labels{"kind": kind, "state": "done"})
-		m.jobsFailed[kind] = s.reg.counter("capserved_jobs_completed_total",
-			"Jobs finished, by outcome.", labels{"kind": kind, "state": "failed"})
-		m.jobRetries[kind] = s.reg.counter("capserved_job_retries_total",
-			"Job attempts beyond the first (transient-failure retries).", labels{"kind": kind})
-		m.degraded[kind] = s.reg.counter("capserved_degraded_responses_total",
-			"Jobs that completed degraded: partial results after pool failures.", labels{"kind": kind})
-		m.breakerFastFail[kind] = s.reg.counter("capserved_breaker_fast_fails_total",
-			"Submissions rejected immediately by an open circuit breaker.", labels{"kind": kind})
-		m.breakerOpen[kind] = s.reg.counter("capserved_breaker_transitions_total",
-			"Circuit-breaker state transitions, by destination state.", labels{"kind": kind, "to": "open"})
-		m.breakerHalf[kind] = s.reg.counter("capserved_breaker_transitions_total",
-			"Circuit-breaker state transitions, by destination state.", labels{"kind": kind, "to": "half_open"})
-		m.breakerClosed[kind] = s.reg.counter("capserved_breaker_transitions_total",
-			"Circuit-breaker state transitions, by destination state.", labels{"kind": kind, "to": "closed"})
+		m.jobsSubmitted[kind] = s.reg.Counter("capserved_jobs_submitted_total",
+			"Jobs accepted into the queue.", prom.Labels{"kind": kind})
+		m.jobsDone[kind] = s.reg.Counter("capserved_jobs_completed_total",
+			"Jobs finished, by outcome.", prom.Labels{"kind": kind, "state": "done"})
+		m.jobsFailed[kind] = s.reg.Counter("capserved_jobs_completed_total",
+			"Jobs finished, by outcome.", prom.Labels{"kind": kind, "state": "failed"})
+		m.jobRetries[kind] = s.reg.Counter("capserved_job_retries_total",
+			"Job attempts beyond the first (transient-failure retries).", prom.Labels{"kind": kind})
+		m.degraded[kind] = s.reg.Counter("capserved_degraded_responses_total",
+			"Jobs that completed degraded: partial results after pool failures.", prom.Labels{"kind": kind})
+		m.breakerFastFail[kind] = s.reg.Counter("capserved_breaker_fast_fails_total",
+			"Submissions rejected immediately by an open circuit breaker.", prom.Labels{"kind": kind})
+		m.breakerOpen[kind] = s.reg.Counter("capserved_breaker_transitions_total",
+			"Circuit-breaker state transitions, by destination state.", prom.Labels{"kind": kind, "to": "open"})
+		m.breakerHalf[kind] = s.reg.Counter("capserved_breaker_transitions_total",
+			"Circuit-breaker state transitions, by destination state.", prom.Labels{"kind": kind, "to": "half_open"})
+		m.breakerClosed[kind] = s.reg.Counter("capserved_breaker_transitions_total",
+			"Circuit-breaker state transitions, by destination state.", prom.Labels{"kind": kind, "to": "closed"})
 		kind := kind
-		s.reg.gauge("capserved_breaker_state",
-			"Circuit-breaker position (0 closed, 1 open, 2 half-open).", labels{"kind": kind},
+		s.reg.Gauge("capserved_breaker_state",
+			"Circuit-breaker position (0 closed, 1 open, 2 half-open).", prom.Labels{"kind": kind},
 			func() float64 {
 				if br := s.breakers[kind]; br != nil {
 					return float64(br.State())
@@ -318,20 +330,20 @@ func (s *Server) initMetrics() {
 			})
 	}
 	for _, h := range append([]string{"jobs", "healthz", "readyz", "metrics"}, jobKinds...) {
-		m.reqTotal[h] = s.reg.counter("capserved_http_requests_total",
-			"HTTP requests served, by handler.", labels{"handler": h})
-		m.reqDuration[h] = s.reg.histogram("capserved_request_duration_seconds",
-			"HTTP request latency, by handler.", labels{"handler": h}, defBuckets)
+		m.reqTotal[h] = s.reg.Counter("capserved_http_requests_total",
+			"HTTP requests served, by handler.", prom.Labels{"handler": h})
+		m.reqDuration[h] = s.reg.Histogram("capserved_request_duration_seconds",
+			"HTTP request latency, by handler.", prom.Labels{"handler": h}, prom.DefBuckets)
 	}
-	m.badRequests = s.reg.counter("capserved_bad_requests_total",
+	m.badRequests = s.reg.Counter("capserved_bad_requests_total",
 		"Requests rejected by validation.", nil)
-	m.queueFull = s.reg.counter("capserved_queue_rejections_total",
+	m.queueFull = s.reg.Counter("capserved_queue_rejections_total",
 		"Submissions rejected because the job queue was full.", nil)
-	m.notReady = s.reg.counter("capserved_not_ready_total",
+	m.notReady = s.reg.Counter("capserved_not_ready_total",
 		"Readiness probes answered not-ready (draining or overloaded).", nil)
-	m.sourceRetries = s.reg.counter("capserved_source_retries_total",
+	m.sourceRetries = s.reg.Counter("capserved_source_retries_total",
 		"Record-source stream retries (transient shard failures).", nil)
-	s.reg.counterFunc("capserved_injected_faults_total",
+	s.reg.CounterFunc("capserved_injected_faults_total",
 		"Faults injected by the chaos fault injector (0 when disabled).", nil,
 		func() float64 {
 			if s.cfg.Faults == nil {
@@ -339,26 +351,26 @@ func (s *Server) initMetrics() {
 			}
 			return float64(s.cfg.Faults.Injected())
 		})
-	s.reg.counterFunc("capserved_cache_uncacheable_total",
+	s.reg.CounterFunc("capserved_cache_uncacheable_total",
 		"Computations whose (degraded) result was served but not cached.", nil,
 		func() float64 { return float64(s.cache.Stats().Uncacheable) })
 
-	s.reg.gauge("capserved_jobs_running", "Jobs currently executing.", nil,
+	s.reg.Gauge("capserved_jobs_running", "Jobs currently executing.", nil,
 		func() float64 { return float64(s.queue.Stats().Running) })
-	s.reg.gauge("capserved_queue_depth", "Jobs waiting for a worker.", nil,
+	s.reg.Gauge("capserved_queue_depth", "Jobs waiting for a worker.", nil,
 		func() float64 { return float64(s.queue.Stats().Depth) })
-	s.reg.gauge("capserved_workers", "Worker-pool size.", nil,
+	s.reg.Gauge("capserved_workers", "Worker-pool size.", nil,
 		func() float64 { return float64(s.queue.Workers()) })
-	s.reg.counterFunc("capserved_cache_hits_total",
+	s.reg.CounterFunc("capserved_cache_hits_total",
 		"Job submissions answered from the result cache.", nil,
 		func() float64 { return float64(s.cache.Stats().Hits) })
-	s.reg.counterFunc("capserved_cache_misses_total",
+	s.reg.CounterFunc("capserved_cache_misses_total",
 		"Job submissions that computed a fresh result.", nil,
 		func() float64 { return float64(s.cache.Stats().Misses) })
-	s.reg.counterFunc("capserved_cache_deduped_total",
+	s.reg.CounterFunc("capserved_cache_deduped_total",
 		"Job submissions that joined an identical in-flight computation.", nil,
 		func() float64 { return float64(s.cache.Stats().Shared) })
-	s.reg.gauge("capserved_cache_size", "Results currently cached.", nil,
+	s.reg.Gauge("capserved_cache_size", "Results currently cached.", nil,
 		func() float64 { return float64(s.cache.Stats().Size) })
 }
 
@@ -447,18 +459,40 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /readyz", s.instrument("readyz", http.HandlerFunc(s.handleReadyz)))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", http.HandlerFunc(s.handleMetrics)))
+	// Debug endpoints are served raw: instrumenting them would add a trace
+	// to the ring per /debug/traces view.
+	s.mux.Handle("GET /debug/traces", obs.TracesHandler(s.cfg.Tracer))
+	s.mux.Handle("GET /debug/goroutines", obs.GoroutinesHandler())
 }
 
 // Handler returns the server's HTTP handler, for tests and embedding.
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// Tracer returns the server's trace ring, for the standalone debug listener.
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
 // instrument wraps a handler with the per-endpoint request counter and
-// latency histogram.
+// latency histogram, and roots a span for the request: the request id is
+// taken from (or minted into) X-Request-Id, and the trace id is echoed in
+// X-Trace-Id so a client can pull the trace from /debug/traces.
 func (s *Server) instrument(name string, h http.Handler) http.Handler {
 	total, dur := s.m.reqTotal[name], s.m.reqDuration[name]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewID()
+		}
+		ctx := obs.WithTracer(r.Context(), s.cfg.Tracer)
+		ctx, sp := obs.StartSpan(ctx, "http."+name,
+			obs.Str("method", r.Method), obs.Str("path", r.URL.Path),
+			obs.Str("request_id", reqID))
+		w.Header().Set("X-Request-Id", reqID)
+		if id := sp.TraceID(); id != "" {
+			w.Header().Set("X-Trace-Id", id)
+		}
 		start := time.Now()
-		h.ServeHTTP(w, r)
+		h.ServeHTTP(w, r.WithContext(ctx))
+		sp.End()
 		total.Inc()
 		dur.Observe(time.Since(start).Seconds())
 	})
@@ -475,8 +509,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	s.cfg.Logf("capserved: listening on %s (%d workers, cache %d)",
-		ln.Addr(), s.queue.Workers(), s.cfg.CacheSize)
+	s.cfg.Logger.Info("listening",
+		"addr", ln.Addr().String(), "workers", s.queue.Workers(), "cache", s.cfg.CacheSize)
 
 	select {
 	case err := <-errCh:
@@ -484,7 +518,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 
-	s.cfg.Logf("capserved: draining (timeout %s)", s.cfg.DrainTimeout)
+	s.cfg.Logger.Info("draining", "timeout", s.cfg.DrainTimeout)
 	s.draining.Store(true) // flips /readyz to 503 so load balancers stop sending
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
@@ -496,7 +530,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if err != nil {
 		return fmt.Errorf("server: drain: %w", err)
 	}
-	s.cfg.Logf("capserved: drained cleanly")
+	s.cfg.Logger.Info("drained cleanly")
 	return nil
 }
 
@@ -509,9 +543,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- HTTP plumbing -------------------------------------------------------
 
-// apiError is the uniform error body.
+// apiError is the uniform error body. TraceID correlates the failure with
+// its trace in /debug/traces.
 type apiError struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -522,9 +558,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func (s *Server) badRequest(w http.ResponseWriter, err error) {
+// errBody builds the uniform error body carrying the request's trace id.
+func errBody(r *http.Request, msg string) apiError {
+	return apiError{Error: msg, TraceID: obs.TraceIDFrom(r.Context())}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, err error) {
 	s.m.badRequests.Inc()
-	writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	writeJSON(w, http.StatusBadRequest, errBody(r, err.Error()))
 }
 
 // jobView is the wire representation of a job.
@@ -533,6 +574,7 @@ type jobView struct {
 	Kind     string          `json:"kind"`
 	State    jobs.State      `json:"state"`
 	Attempts int             `json:"attempts,omitempty"`
+	TraceID  string          `json:"trace_id,omitempty"`
 	Created  time.Time       `json:"created"`
 	Started  *time.Time      `json:"started,omitempty"`
 	Finished *time.Time      `json:"finished,omitempty"`
@@ -548,6 +590,7 @@ func viewOf(j *jobs.Job) jobView {
 		Kind:     snap.Kind,
 		State:    snap.State,
 		Attempts: snap.Attempts,
+		TraceID:  snap.TraceID,
 		Created:  snap.Created,
 		Self:     "/v1/jobs/" + snap.ID,
 	}
@@ -576,18 +619,18 @@ func (s *Server) handleSubmit(kind string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
 		if err != nil {
-			s.badRequest(w, fmt.Errorf("read body: %w", err))
+			s.badRequest(w, r, fmt.Errorf("read body: %w", err))
 			return
 		}
 		if int64(len(body)) > s.cfg.MaxBodyBytes {
 			s.m.badRequests.Inc()
 			writeJSON(w, http.StatusRequestEntityTooLarge,
-				apiError{Error: fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes)})
+				errBody(r, fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes)))
 			return
 		}
 		compute, canonical, err := s.buildJob(kind, body)
 		if err != nil {
-			s.badRequest(w, err)
+			s.badRequest(w, r, err)
 			return
 		}
 		// Circuit breaker: when this endpoint's jobs keep failing, reject
@@ -598,7 +641,7 @@ func (s *Server) handleSubmit(kind string) http.Handler {
 			s.m.breakerFastFail[kind].Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterCeil(br.RetryAfter())))
 			writeJSON(w, http.StatusServiceUnavailable,
-				apiError{Error: fmt.Sprintf("circuit breaker open for %s: recent jobs kept failing", kind)})
+				errBody(r, fmt.Sprintf("circuit breaker open for %s: recent jobs kept failing", kind)))
 			return
 		}
 		// The cache key is the canonicalized request — defaults applied,
@@ -608,10 +651,12 @@ func (s *Server) handleSubmit(kind string) http.Handler {
 			if br != nil {
 				br.Release()
 			}
-			s.badRequest(w, err)
+			s.badRequest(w, r, err)
 			return
 		}
-		j, err := s.queue.Submit(kind, func(ctx context.Context) (any, error) {
+		// SubmitCtx links the job's span tree under this request's trace;
+		// the job outliving the request (async submit) keeps the linkage.
+		j, err := s.queue.SubmitCtx(r.Context(), kind, func(ctx context.Context) (any, error) {
 			val, _, err := s.cache.Do(key, func() (any, error) { return compute(ctx) })
 			return val, err
 		})
@@ -622,20 +667,20 @@ func (s *Server) handleSubmit(kind string) http.Handler {
 			}
 			s.m.queueFull.Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(s.queue.Stats().Depth)))
-			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+			writeJSON(w, http.StatusServiceUnavailable, errBody(r, err.Error()))
 			return
 		case errors.Is(err, jobs.ErrClosed):
 			if br != nil {
 				br.Release()
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(s.queue.Stats().Depth)))
-			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+			writeJSON(w, http.StatusServiceUnavailable, errBody(r, "server is draining"))
 			return
 		case err != nil:
 			if br != nil {
 				br.Release()
 			}
-			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			writeJSON(w, http.StatusInternalServerError, errBody(r, err.Error()))
 			return
 		}
 		s.m.jobsSubmitted[kind].Inc()
@@ -686,7 +731,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.queue.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no job %q", id)})
+		writeJSON(w, http.StatusNotFound, errBody(r, fmt.Sprintf("no job %q", id)))
 		return
 	}
 	writeJSON(w, http.StatusOK, viewOf(j))
@@ -741,7 +786,10 @@ func retryAfterCeil(d time.Duration) int {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.writeText(w)
+	// Server-owned capserved_* families first, then the process-wide
+	// pipeline families (headroom_* stage and queue timings).
+	s.reg.WriteText(w)
+	prom.Default.WriteText(w)
 }
 
 // CacheStats exposes cache counters for tests.

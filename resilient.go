@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"headroom/internal/obs"
 )
 
 // ErrTransient marks a source error as retryable. Sources (and fault
@@ -246,6 +248,9 @@ func (r *resilientSource) Stream(ctx context.Context, emit func(Record) error) e
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, err)
 		}
+		// Attribute the retry to the active shard span (if any), so a trace
+		// shows which pool's stream was retried and how often.
+		obs.ActiveSpan(ctx).AddInt("retries", 1)
 		sleep := jitterBackoff(rng, backoff)
 		select {
 		case <-time.After(sleep):

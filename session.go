@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"headroom/internal/core"
 	"headroom/internal/experiments"
 	"headroom/internal/forecast"
 	"headroom/internal/metrics"
+	"headroom/internal/obs"
 	"headroom/internal/optimize"
 	"headroom/internal/validate"
 )
@@ -45,6 +48,7 @@ type Session struct {
 	plan     PlanConfig
 	seed     int64
 	partial  bool
+	observer StageObserver
 }
 
 // Option configures a Session under construction.
@@ -109,6 +113,47 @@ func WithPlanConfig(cfg PlanConfig) Option {
 func WithPartialResults(enabled bool) Option {
 	return func(s *Session) error {
 		s.partial = enabled
+		return nil
+	}
+}
+
+// StageEvent describes one completed pipeline stage, or one completed shard
+// of a sharded stage.
+type StageEvent struct {
+	// Stage names the stage: "simulate", "aggregate", "merge", "plan",
+	// "validate", "forecast", or "aggregate.shard" for per-shard events.
+	Stage string
+	// Pool carries the shard's pool names (comma-joined) on per-shard
+	// events; empty otherwise.
+	Pool string
+	// Shard is the shard index on per-shard events, -1 otherwise.
+	Shard int
+	// Records is the number of records the stage consumed, when it streams
+	// a source.
+	Records int
+	// Duration is the stage's wall time.
+	Duration time.Duration
+	// Degraded marks a partial-results aggregation that lost shards (or, on
+	// a per-shard event, this shard failing inside a tolerant run).
+	Degraded bool
+	// Err is the stage's failure, nil on success.
+	Err error
+}
+
+// StageObserver receives one event per completed pipeline stage and shard.
+// Observers must be fast and safe for concurrent use: shard events fire
+// from the aggregation goroutines.
+type StageObserver func(StageEvent)
+
+// WithObserver registers a stage observer on the session. Independent of
+// the observer, every session records stage durations into the process-wide
+// metrics registry (headroom_stage_duration_seconds) and emits spans when
+// the calling context carries a tracer (internal/obs); the observer is the
+// hook for callers that want per-stage attribution beyond that — custom
+// metrics, logging, admission control.
+func WithObserver(fn StageObserver) Option {
+	return func(s *Session) error {
+		s.observer = fn
 		return nil
 	}
 }
@@ -193,12 +238,43 @@ func (s *Session) Simulate(ctx context.Context, days int, actions ...Action) (*A
 		if days != 0 || len(actions) != 0 {
 			return nil, errors.New("headroom: days and actions configure the fleet simulator; this session streams a custom source")
 		}
-		return s.Aggregate(ctx, s.source)
+		return s.simulate(ctx, s.source, 0)
 	}
 	if !s.hasFleet {
 		return nil, ErrNoSource
 	}
-	return s.Aggregate(ctx, NewSimSource(s.fleet, days, actions...))
+	return s.simulate(ctx, NewSimSource(s.fleet, days, actions...), days)
+}
+
+// simulate wraps the aggregation in the "simulate" stage span and metrics.
+func (s *Session) simulate(ctx context.Context, src Source, days int) (*Aggregator, error) {
+	ctx, sp := obs.StartSpan(ctx, "session.simulate", obs.Int("days", days))
+	start := time.Now()
+	agg, err := s.Aggregate(ctx, src)
+	d := time.Since(start)
+	sp.RecordError(err)
+	sp.End()
+	s.stageDone(StageEvent{Stage: "simulate", Shard: -1, Duration: d, Degraded: isPartialErr(err), Err: err})
+	return agg, err
+}
+
+// stageDone feeds one completed stage (or shard) into the process-wide
+// stage metrics and the session's observer.
+func (s *Session) stageDone(ev StageEvent) {
+	if ev.Stage == "aggregate.shard" {
+		obs.ObservePool(ev.Pool, ev.Duration)
+	} else {
+		obs.ObserveStage(ev.Stage, ev.Duration)
+	}
+	if s.observer != nil {
+		s.observer(ev)
+	}
+}
+
+// isPartialErr reports whether err is a degraded (partial-results) outcome.
+func isPartialErr(err error) bool {
+	var pe *PartialError
+	return errors.As(err, &pe)
 }
 
 // Aggregate consumes a record source into an Aggregator, sharding across
@@ -220,21 +296,47 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 			subs = sh.Shards(n)
 		}
 	}
+	shards := len(subs)
+	if shards < 1 {
+		shards = 1
+	}
+	ctx, sp := obs.StartSpan(ctx, "session.aggregate", obs.Int("shards", shards))
+	start := time.Now()
+	agg, records, err := s.aggregate(ctx, src, subs)
+	d := time.Since(start)
+	degraded := isPartialErr(err)
+	sp.SetAttr(obs.Int64("records", records), obs.Bool("degraded", degraded))
+	sp.RecordError(err)
+	sp.End()
+	s.stageDone(StageEvent{
+		Stage: "aggregate", Shard: -1, Records: int(records),
+		Duration: d, Degraded: degraded, Err: err,
+	})
+	return agg, err
+}
+
+// aggregate streams the source (sharded when subs has more than one entry)
+// and merges the per-shard aggregators, returning the record count consumed.
+func (s *Session) aggregate(ctx context.Context, src Source, subs []Source) (*Aggregator, int64, error) {
 	if len(subs) <= 1 {
 		agg := metrics.NewAggregator()
-		if err := src.Stream(ctx, func(r Record) error { agg.Add(r); return nil }); err != nil {
-			return nil, err
+		var n int64
+		if err := src.Stream(ctx, func(r Record) error { agg.Add(r); n++; return nil }); err != nil {
+			return nil, n, err
 		}
-		return agg, nil
+		return agg, n, nil
 	}
 
 	// One goroutine and one private aggregator per shard; merge in shard
 	// order afterwards. Shards own disjoint (pool, datacenter) keys, so the
 	// merged aggregator is bit-identical to a single sequential pass. Each
 	// shard goroutine is isolated: a panic is recovered into that shard's
-	// error instead of tearing the process down.
+	// error instead of tearing the process down. Each shard carries its own
+	// span ("simulate.pool", annotated with pool names, record count,
+	// retries and the degraded flag) and per-pool duration histogram.
 	aggs := make([]*Aggregator, len(subs))
 	errs := make([]error, len(subs))
+	counts := make([]int64, len(subs))
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -242,6 +344,10 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 		wg.Add(1)
 		go func(i int, sub Source) {
 			defer wg.Done()
+			pools := strings.Join(poolNamesOf(sub), ",")
+			sctx, ssp := obs.StartSpan(wctx, "simulate.pool",
+				obs.Str("pool", pools), obs.Int("shard", i))
+			shardStart := time.Now()
 			defer func() {
 				if v := recover(); v != nil {
 					errs[i] = fmt.Errorf("headroom: shard %d panicked: %v", i, v)
@@ -249,9 +355,19 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 						cancel()
 					}
 				}
+				sd := time.Since(shardStart)
+				degraded := s.partial && errs[i] != nil
+				ssp.SetAttr(obs.Int64("records", counts[i]), obs.Bool("degraded", degraded))
+				ssp.RecordError(errs[i])
+				ssp.End()
+				s.stageDone(StageEvent{
+					Stage: "aggregate.shard", Pool: pools, Shard: i,
+					Records: int(counts[i]), Duration: sd,
+					Degraded: degraded, Err: errs[i],
+				})
 			}()
 			agg := metrics.NewAggregator()
-			if err := sub.Stream(wctx, func(r Record) error { agg.Add(r); return nil }); err != nil {
+			if err := sub.Stream(sctx, func(r Record) error { agg.Add(r); counts[i]++; return nil }); err != nil {
 				errs[i] = err
 				if !s.partial {
 					cancel() // fail fast: stop sibling shards
@@ -262,9 +378,14 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 		}(i, sub)
 	}
 	wg.Wait()
+	var records int64
+	for _, n := range counts {
+		records += n
+	}
 
 	if s.partial {
-		return mergePartial(ctx, subs, aggs, errs)
+		agg, err := s.mergePartial(ctx, subs, aggs, errs)
+		return agg, records, err
 	}
 
 	var failure error
@@ -280,15 +401,40 @@ func (s *Session) Aggregate(ctx context.Context, src Source) (*Aggregator, error
 	}
 	if failure != nil {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, records, err
 		}
-		return nil, failure
+		return nil, records, failure
 	}
+	out := s.mergeShards(ctx, aggs)
+	return out, records, nil
+}
+
+// mergeShards merges the per-shard aggregators in shard order, as the
+// "merge" stage.
+func (s *Session) mergeShards(ctx context.Context, aggs []*Aggregator) *Aggregator {
+	_, sp := obs.StartSpan(ctx, "session.merge", obs.Int("shards", len(aggs)))
+	start := time.Now()
 	out := aggs[0]
 	for _, a := range aggs[1:] {
 		out.Merge(a)
 	}
-	return out, nil
+	d := time.Since(start)
+	sp.End()
+	s.stageDone(StageEvent{Stage: "merge", Shard: -1, Duration: d})
+	return out
+}
+
+// mergePartial wraps the partial-results merge in the "merge" stage span
+// and metrics, mirroring mergeShards for the tolerant path.
+func (s *Session) mergePartial(ctx context.Context, subs []Source, aggs []*Aggregator, errs []error) (*Aggregator, error) {
+	_, sp := obs.StartSpan(ctx, "session.merge", obs.Int("shards", len(aggs)))
+	start := time.Now()
+	out, err := mergePartial(ctx, subs, aggs, errs)
+	d := time.Since(start)
+	sp.RecordError(err)
+	sp.End()
+	s.stageDone(StageEvent{Stage: "merge", Shard: -1, Duration: d, Degraded: isPartialErr(err), Err: err})
+	return out, err
 }
 
 // mergePartial combines the surviving shards of a partial-results fan-out
@@ -340,7 +486,15 @@ func (s *Session) Stream(ctx context.Context, src Source, emit func(Record) erro
 func (s *Session) Plan(ctx context.Context, agg *Aggregator) ([]PoolPlan, error) {
 	ctx, done := s.opCtx(ctx)
 	defer done()
-	return core.Plan(ctx, agg, s.plan)
+	ctx, sp := obs.StartSpan(ctx, "session.plan")
+	start := time.Now()
+	plans, err := core.Plan(ctx, agg, s.plan)
+	d := time.Since(start)
+	sp.SetAttr(obs.Int("pools", len(plans)))
+	sp.RecordError(err)
+	sp.End()
+	s.stageDone(StageEvent{Stage: "plan", Shard: -1, Duration: d, Err: err})
+	return plans, err
 }
 
 // RunRSM executes the iterative server-reduction experiment of §II-B2
@@ -357,7 +511,14 @@ func (s *Session) RunRSM(ctx context.Context, plant Plant, cfg RSMConfig) (RSMRe
 func (s *Session) Validate(ctx context.Context, cfg ValidateConfig, change Change) (ValidateReport, error) {
 	ctx, done := s.opCtx(ctx)
 	defer done()
-	return validate.Run(ctx, cfg, change)
+	ctx, sp := obs.StartSpan(ctx, "session.validate")
+	start := time.Now()
+	report, err := validate.Run(ctx, cfg, change)
+	d := time.Since(start)
+	sp.RecordError(err)
+	sp.End()
+	s.stageDone(StageEvent{Stage: "validate", Shard: -1, Duration: d, Err: err})
+	return report, err
 }
 
 // Forecast fits a trend + daily-seasonality model to an offered-load
@@ -369,7 +530,14 @@ func (s *Session) Forecast(ctx context.Context, series []float64, ticksPerDay in
 	if err := ctx.Err(); err != nil {
 		return ForecastModel{}, err
 	}
-	return forecast.Fit(series, ticksPerDay)
+	_, sp := obs.StartSpan(ctx, "session.forecast", obs.Int("points", len(series)))
+	start := time.Now()
+	model, err := forecast.Fit(series, ticksPerDay)
+	d := time.Since(start)
+	sp.RecordError(err)
+	sp.End()
+	s.stageDone(StageEvent{Stage: "forecast", Shard: -1, Duration: d, Err: err})
+	return model, err
 }
 
 // ExperimentResult is a regenerated paper table or figure.
