@@ -9,6 +9,13 @@
 //
 //	capserved -addr :8080
 //	capserved -addr :8080 -workers 8 -cache 256 -job-timeout 10m
+//	capserved -addr :8080 -dist-token s3cret \
+//	    -peers http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// With -peers, simulate/plan jobs are split into shards and dispatched to
+// the named workers (each a capserved started with the same -dist-token),
+// merged back byte-identical to a single-node run; see the README's
+// "Scale-out" section.
 //
 // Endpoints: POST /v1/{simulate,plan,validate,forecast}, GET /v1/jobs/{id},
 // GET /healthz, GET /readyz, GET /metrics (Prometheus text format). See the
@@ -28,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +65,11 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown window")
 		shards       = fs.Int("shards", 0, "aggregation shards per job (0 = one per CPU)")
+
+		peers        = fs.String("peers", "", "comma-separated worker base URLs enabling distributed scale-out (e.g. http://10.0.0.2:8080,http://10.0.0.3:8080)")
+		distToken    = fs.String("dist-token", "", "shared secret for internal shard traffic; required with -peers, and serves POST /v1/internal/shard when set")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "hedge a shard dispatch still unanswered after this delay (0 = adaptive 2x worker EWMA, negative = disabled)")
+		shardTimeout = fs.Duration("shard-timeout", time.Minute, "end-to-end deadline for one distributed shard (reroutes and hedges included)")
 
 		partial       = fs.Bool("partial-results", false, "serve degraded results when some pools fail instead of failing the whole job")
 		retryAttempts = fs.Int("source-retries", 0, "max source stream attempts per shard (0 = default 3, 1 = no retries)")
@@ -108,6 +121,18 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	if *readyHWM < 0 {
 		return fail("ready-watermark must be >= 0, got %d", *readyHWM)
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 && *distToken == "" {
+		return fail("-peers requires -dist-token (the shared secret workers authenticate with)")
+	}
+	if *shardTimeout <= 0 {
+		return fail("shard-timeout must be positive, got %s", *shardTimeout)
+	}
 	if !obs.ValidFormat(*logFormat) {
 		return fail("log-format must be text or json, got %q", *logFormat)
 	}
@@ -150,6 +175,10 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		JobTimeout:         *jobTimeout,
 		DrainTimeout:       *drainTimeout,
 		Shards:             *shards,
+		Peers:              peerList,
+		DistToken:          *distToken,
+		HedgeAfter:         *hedgeAfter,
+		ShardTimeout:       *shardTimeout,
 		PartialResults:     *partial,
 		RetryAttempts:      *retryAttempts,
 		RetryBackoff:       *retryBackoff,

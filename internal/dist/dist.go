@@ -1,0 +1,611 @@
+// Package dist fans one capacity-planning job out across a fleet of
+// capserved processes. The pipeline is embarrassingly shard-parallel —
+// shards own disjoint (pool, datacenter) keys and aggregator merges are
+// bit-identical regardless of where a shard ran — so the coordinator can
+// split a job's source into shards, ship each shard to a worker over HTTP,
+// and merge the returned aggregates into the exact bytes a single-node run
+// would have produced.
+//
+// The client half (this package) owns placement and the failure playbook:
+//
+//   - rendezvous (highest-random-weight) hashing assigns each shard an
+//     owner and a stable fallback order over the static peer list;
+//   - every dispatch carries a per-shard deadline;
+//   - transient failures (network errors, 5xx) reroute the shard to the
+//     next-ranked worker;
+//   - a dispatch that outlives the worker's EWMA-tracked latency is hedged:
+//     a duplicate is sent to the next worker and the first answer wins;
+//   - per-worker circuit breakers (internal/breaker) stop traffic to a
+//     worker whose dispatches keep failing, so a dead node costs one timed
+//     attempt per open interval instead of one per shard.
+//
+// The server half is capserved's authenticated POST /v1/internal/shard
+// endpoint (internal/server), which runs exactly one shard through the
+// session machinery and returns the encoded aggregate.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"headroom/internal/breaker"
+	"headroom/internal/obs"
+)
+
+// TokenHeader authenticates internal shard traffic between peers.
+const TokenHeader = "X-Dist-Token"
+
+// TraceHeader propagates the coordinator's trace id to workers, so a job's
+// trace can be correlated with the remote shard spans it caused.
+const TraceHeader = "X-Trace-Id"
+
+// ShardHeader carries the shard index, for worker-side logging.
+const ShardHeader = "X-Dist-Shard"
+
+// DefaultPath is the internal shard endpoint every capserved worker serves.
+const DefaultPath = "/v1/internal/shard"
+
+// maxResponseBytes bounds a worker response; an encoded shard aggregate for
+// a month of a large fleet stays well under this.
+const maxResponseBytes = 256 << 20
+
+// Config parameterizes a Client. Zero values take the documented defaults.
+type Config struct {
+	// Peers are the worker base URLs ("http://10.0.0.2:8080"). Required,
+	// at least one.
+	Peers []string
+	// Token is the shared secret sent as X-Dist-Token. Required.
+	Token string
+	// Path is the shard endpoint path; default DefaultPath.
+	Path string
+	// Transport overrides the HTTP transport — tests and benchmarks use
+	// Loopback. Default: a dedicated clone of http.DefaultTransport.
+	Transport http.RoundTripper
+	// ShardTimeout bounds one shard's dispatch end to end, across reroutes
+	// and hedges; default 1 minute.
+	ShardTimeout time.Duration
+	// HedgeAfter controls hedged requests: a positive duration hedges every
+	// dispatch that is still unanswered after it; zero (the default) adapts
+	// per worker, hedging after 2x the worker's EWMA latency once three
+	// dispatches have been observed; negative disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// worker's circuit breaker; default 3, negative disables breakers.
+	BreakerThreshold int
+	// BreakerOpenFor is how long an open worker breaker fast-fails before
+	// probing; default 5 s.
+	BreakerOpenFor time.Duration
+	// BreakerProbes is the consecutive half-open successes that close a
+	// worker breaker; default 1.
+	BreakerProbes int
+	// Clock overrides time.Now for the breakers, for tests.
+	Clock func() time.Time
+	// Logger receives dispatch lifecycle events; default discard.
+	Logger *slog.Logger
+	// OnEvent, when set, observes every dispatch event — the metrics hook.
+	// It must be fast and safe for concurrent use.
+	OnEvent func(Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Path == "" {
+		c.Path = DefaultPath
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = time.Minute
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 5 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 1
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	return c
+}
+
+// EventKind classifies a dispatch event.
+type EventKind string
+
+const (
+	// EventDispatch is one attempt sent to a worker.
+	EventDispatch EventKind = "dispatch"
+	// EventSuccess is an attempt that returned a usable result.
+	EventSuccess EventKind = "success"
+	// EventFailure is an attempt that failed (transient or permanent).
+	EventFailure EventKind = "failure"
+	// EventReroute is a shard moved to its next-ranked worker after a
+	// transient failure.
+	EventReroute EventKind = "reroute"
+	// EventHedge is a duplicate dispatch launched because the primary
+	// outlived its hedge delay.
+	EventHedge EventKind = "hedge"
+	// EventHedgeWin is a hedged dispatch that answered first.
+	EventHedgeWin EventKind = "hedge_win"
+	// EventSkip is a candidate worker skipped because its breaker is open.
+	EventSkip EventKind = "breaker_skip"
+	// EventExhausted is a shard that failed on every available worker.
+	EventExhausted EventKind = "exhausted"
+	// EventBreaker is a worker breaker state transition.
+	EventBreaker EventKind = "breaker_transition"
+)
+
+// Event is one observation from a dispatch, fed to Config.OnEvent.
+type Event struct {
+	Kind    EventKind
+	Peer    string
+	Hedged  bool
+	Latency time.Duration // EventSuccess only
+	From    breaker.State // EventBreaker only
+	To      breaker.State // EventBreaker only
+}
+
+// Shard is one unit of distributable work: an opaque request body plus the
+// shard coordinates and the placement key.
+type Shard struct {
+	// Key drives rendezvous placement. Shards keyed by stable content (the
+	// pool names they carry) keep their placement across job resubmissions
+	// and peer-list edits.
+	Key string
+	// Index and Of are the shard coordinates within the job.
+	Index, Of int
+	// Body is the request payload POSTed to the worker.
+	Body []byte
+}
+
+// Result is a successful dispatch.
+type Result struct {
+	// Body is the worker's response payload.
+	Body []byte
+	// Worker is the base URL of the worker that answered.
+	Worker string
+	// Hedged reports that the answer came from a hedged duplicate.
+	Hedged bool
+	// Attempts counts dispatches sent for this shard (reroutes and hedges
+	// included).
+	Attempts int
+}
+
+// ShardError is a failed dispatch: the shard could not be computed on any
+// available worker (or failed permanently on one).
+type ShardError struct {
+	// Shard is the shard index within the job.
+	Shard int
+	// Key is the shard's placement key (its pool names).
+	Key string
+	// Attempts counts dispatches sent before giving up.
+	Attempts int
+	// Transient reports whether retrying the whole job later could succeed
+	// (workers were unreachable or overloaded, rather than rejecting the
+	// request as invalid).
+	Transient bool
+	// Err is the last underlying failure.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("dist: shard %d (%s) failed after %d attempts: %v", e.Shard, e.Key, e.Attempts, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// WorkerError is a worker's HTTP-level rejection of a dispatch.
+type WorkerError struct {
+	Peer   string
+	Status int
+	Msg    string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("dist: worker %s: %d %s", e.Peer, e.Status, e.Msg)
+}
+
+// Client dispatches shards to a static fleet of workers. Construct with
+// New; a Client is safe for concurrent use.
+type Client struct {
+	cfg      Config
+	http     *http.Client
+	peers    []string
+	breakers map[string]*breaker.Breaker // nil when disabled
+	lat      map[string]*ewma
+}
+
+// New validates the peer list and builds a Client.
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("dist: no peers configured")
+	}
+	if cfg.Token == "" {
+		return nil, errors.New("dist: missing shared token")
+	}
+	peers := make([]string, 0, len(cfg.Peers))
+	seen := map[string]bool{}
+	for _, p := range cfg.Peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("dist: peer %q is not an absolute http(s) URL", p)
+		}
+		if !seen[p] {
+			seen[p] = true
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("dist: no peers configured")
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = http.DefaultTransport.(*http.Transport).Clone()
+	}
+	c := &Client{
+		cfg:   cfg,
+		http:  &http.Client{Transport: tr},
+		peers: peers,
+		lat:   make(map[string]*ewma, len(peers)),
+	}
+	if cfg.BreakerThreshold > 0 {
+		c.breakers = make(map[string]*breaker.Breaker, len(peers))
+	}
+	for _, p := range peers {
+		c.lat[p] = &ewma{}
+		if c.breakers != nil {
+			p := p
+			c.breakers[p] = breaker.New(breaker.Config{
+				Threshold: cfg.BreakerThreshold,
+				OpenFor:   cfg.BreakerOpenFor,
+				Probes:    cfg.BreakerProbes,
+				Now:       cfg.Clock,
+				OnTransition: func(from, to breaker.State) {
+					c.cfg.Logger.Info("dist: worker breaker transition",
+						"peer", p, "from", from.String(), "to", to.String())
+					c.event(Event{Kind: EventBreaker, Peer: p, From: from, To: to})
+				},
+			})
+		}
+	}
+	return c, nil
+}
+
+// Peers returns the normalized worker list.
+func (c *Client) Peers() []string { return append([]string(nil), c.peers...) }
+
+// BreakerState returns a worker's breaker position (Closed when breakers
+// are disabled).
+func (c *Client) BreakerState(peer string) breaker.State {
+	if br := c.breakers[peer]; br != nil {
+		return br.State()
+	}
+	return breaker.Closed
+}
+
+// OpenBreakers counts workers whose breaker is currently open, and the
+// total worker count — the worker-fleet health signal /readyz reports.
+func (c *Client) OpenBreakers() (open, total int) {
+	total = len(c.peers)
+	for _, p := range c.peers {
+		if c.BreakerState(p) == breaker.Open {
+			open++
+		}
+	}
+	return open, total
+}
+
+// MeanLatency returns a worker's EWMA dispatch latency and the number of
+// observations behind it.
+func (c *Client) MeanLatency(peer string) (time.Duration, int64) {
+	if e := c.lat[peer]; e != nil {
+		return e.value()
+	}
+	return 0, 0
+}
+
+// Close releases idle transport connections.
+func (c *Client) Close() {
+	if ci, ok := c.http.Transport.(interface{ CloseIdleConnections() }); ok {
+		ci.CloseIdleConnections()
+	}
+}
+
+func (c *Client) event(ev Event) {
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(ev)
+	}
+}
+
+// attemptResult is one worker attempt's outcome.
+type attemptResult struct {
+	peer      string
+	hedged    bool
+	body      []byte
+	d         time.Duration
+	err       error
+	transient bool
+	canceled  bool // the attempt was cancelled by the dispatch (winner elsewhere)
+}
+
+// Dispatch computes one shard on the fleet: it tries workers in rendezvous
+// order for the shard's key, rerouting on transient failure, hedging slow
+// attempts, and honouring the per-shard deadline. On success it returns the
+// winning worker's response; on failure, a *ShardError whose Transient flag
+// says whether retrying the job later might succeed.
+func (c *Client) Dispatch(ctx context.Context, sh Shard) (Result, error) {
+	dctx, cancel := ctx, context.CancelFunc(func() {})
+	if c.cfg.ShardTimeout > 0 {
+		dctx, cancel = context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	}
+	defer cancel()
+
+	order := Rank(sh.Key, c.peers)
+	results := make(chan attemptResult, len(order))
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cf := range cancels {
+			cf()
+		}
+	}()
+	next, inflight, attempts := 0, 0, 0
+
+	// launch sends the shard to the next breaker-admitted candidate,
+	// returning its peer URL ("" when no candidate is left).
+	launch := func(hedged bool) string {
+		for next < len(order) {
+			peer := order[next]
+			next++
+			if br := c.breakers[peer]; br != nil && !br.Allow() {
+				c.event(Event{Kind: EventSkip, Peer: peer})
+				continue
+			}
+			attempts++
+			inflight++
+			actx, acancel := context.WithCancel(dctx)
+			cancels = append(cancels, acancel)
+			c.event(Event{Kind: EventDispatch, Peer: peer, Hedged: hedged})
+			go func(peer string, hedged bool) {
+				results <- c.send(actx, peer, sh, hedged)
+			}(peer, hedged)
+			return peer
+		}
+		return ""
+	}
+
+	primary := launch(false)
+	if primary == "" {
+		c.event(Event{Kind: EventExhausted})
+		return Result{}, &ShardError{
+			Shard: sh.Index, Key: sh.Key, Transient: true,
+			Err: errors.New("every worker's circuit breaker is open"),
+		}
+	}
+
+	var hedgeC <-chan time.Time
+	if d, ok := c.hedgeDelay(primary); ok {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var lastErr error
+	for inflight > 0 {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				c.event(Event{Kind: EventSuccess, Peer: res.peer, Hedged: res.hedged, Latency: res.d})
+				if res.hedged {
+					c.event(Event{Kind: EventHedgeWin, Peer: res.peer})
+				}
+				return Result{Body: res.body, Worker: res.peer, Hedged: res.hedged, Attempts: attempts}, nil
+			}
+			if res.canceled {
+				// Cancelled by the dispatch itself; the deadline case below
+				// (or a sibling's result) decides the outcome.
+				continue
+			}
+			c.event(Event{Kind: EventFailure, Peer: res.peer, Hedged: res.hedged})
+			c.cfg.Logger.Warn("dist: shard attempt failed",
+				"peer", res.peer, "shard", sh.Index, "hedged", res.hedged,
+				"transient", res.transient, "error", res.err)
+			lastErr = res.err
+			if !res.transient {
+				// A permanent rejection is the same on every worker; stop.
+				return Result{}, &ShardError{Shard: sh.Index, Key: sh.Key, Attempts: attempts, Err: res.err}
+			}
+			if inflight == 0 {
+				if p := launch(false); p != "" {
+					c.event(Event{Kind: EventReroute, Peer: p})
+				}
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if p := launch(true); p != "" {
+				c.event(Event{Kind: EventHedge, Peer: p})
+			}
+		case <-dctx.Done():
+			return Result{}, &ShardError{
+				Shard: sh.Index, Key: sh.Key, Attempts: attempts, Transient: true,
+				Err: fmt.Errorf("shard deadline: %w", dctx.Err()),
+			}
+		}
+	}
+
+	c.event(Event{Kind: EventExhausted})
+	if lastErr == nil {
+		lastErr = errors.New("no worker available")
+	}
+	return Result{}, &ShardError{Shard: sh.Index, Key: sh.Key, Attempts: attempts, Transient: true, Err: lastErr}
+}
+
+// send performs one worker attempt. Breaker accounting lives here so every
+// admitted attempt records exactly one outcome: Success for a well-formed
+// response (the worker is alive, even if it rejected the request), Failure
+// for network errors, 5xx and attempt timeouts, and a neutral Release when
+// the dispatch cancelled the attempt because a sibling won.
+func (c *Client) send(ctx context.Context, peer string, sh Shard, hedged bool) attemptResult {
+	out := attemptResult{peer: peer, hedged: hedged}
+	br := c.breakers[peer]
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+c.cfg.Path, bytes.NewReader(sh.Body))
+	if err != nil {
+		if br != nil {
+			br.Release()
+		}
+		out.err = fmt.Errorf("dist: build request for %s: %w", peer, err)
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TokenHeader, c.cfg.Token)
+	req.Header.Set(ShardHeader, strconv.Itoa(sh.Index)+"/"+strconv.Itoa(sh.Of))
+	if id := obs.TraceIDFrom(ctx); id != "" {
+		req.Header.Set(TraceHeader, id)
+	}
+
+	resp, err := c.http.Do(req)
+	out.d = time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(ctx.Err(), context.Canceled):
+			if br != nil {
+				br.Release()
+			}
+			out.err, out.canceled = ctx.Err(), true
+		case ctx.Err() != nil: // attempt deadline: the worker was too slow
+			if br != nil {
+				br.Failure()
+			}
+			out.err, out.transient = ctx.Err(), true
+		default:
+			if br != nil {
+				br.Failure()
+			}
+			out.err, out.transient = fmt.Errorf("dist: dispatch to %s: %w", peer, err), true
+		}
+		return out
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		if br != nil {
+			br.Failure()
+		}
+		out.err, out.transient = fmt.Errorf("dist: read response from %s: %w", peer, err), true
+		return out
+	}
+	if len(body) > maxResponseBytes {
+		if br != nil {
+			br.Failure()
+		}
+		out.err = fmt.Errorf("dist: response from %s exceeds %d bytes", peer, maxResponseBytes)
+		return out
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if br != nil {
+			br.Success()
+		}
+		c.lat[peer].observe(out.d)
+		out.body = body
+		return out
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The worker is healthy; the request itself was rejected. Permanent.
+		if br != nil {
+			br.Success()
+		}
+		out.err = &WorkerError{Peer: peer, Status: resp.StatusCode, Msg: errMsg(body)}
+		return out
+	default: // 5xx: the worker is overloaded or broken; reroutable.
+		if br != nil {
+			br.Failure()
+		}
+		out.err = &WorkerError{Peer: peer, Status: resp.StatusCode, Msg: errMsg(body)}
+		out.transient = true
+		return out
+	}
+}
+
+// errMsg extracts the "error" field of a JSON error body, falling back to a
+// truncated raw body.
+func errMsg(body []byte) string {
+	var v struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &v); err == nil && v.Error != "" {
+		return v.Error
+	}
+	s := strings.TrimSpace(string(body))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// hedgeDelay resolves the hedge trigger for a dispatch whose primary is
+// peer: fixed when configured, otherwise 2x the worker's EWMA latency once
+// enough history exists, never below 1 ms.
+func (c *Client) hedgeDelay(peer string) (time.Duration, bool) {
+	switch {
+	case c.cfg.HedgeAfter > 0:
+		return c.cfg.HedgeAfter, true
+	case c.cfg.HedgeAfter < 0:
+		return 0, false
+	}
+	mean, n := c.lat[peer].value()
+	if n < 3 {
+		return 0, false
+	}
+	d := 2 * mean
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d, true
+}
+
+// ewma tracks a worker's dispatch latency as an exponentially weighted
+// mean — the cheap stand-in for the latency percentile hedging keys off.
+type ewma struct {
+	mu   sync.Mutex
+	mean float64 // seconds
+	n    int64
+}
+
+func (e *ewma) observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := d.Seconds()
+	if e.n == 0 {
+		e.mean = s
+	} else {
+		const alpha = 0.2
+		e.mean = alpha*s + (1-alpha)*e.mean
+	}
+	e.n++
+}
+
+func (e *ewma) value() (time.Duration, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.mean * float64(time.Second)), e.n
+}

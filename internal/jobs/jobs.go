@@ -94,6 +94,7 @@ type Job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
+	meta      map[string]any
 	onFinish  func(*Job)
 	onRunning func(*Job)
 }
@@ -121,18 +122,58 @@ type Snapshot struct {
 	Finished time.Time
 	// TraceID identifies the trace the job was submitted under, or "".
 	TraceID string
+	// Meta holds annotations attached during execution via Annotate —
+	// e.g. which workers a distributed job's shards were placed on. Nil
+	// when the job has none.
+	Meta map[string]any
 }
 
 // Snapshot returns a consistent copy of the job's observable state.
 func (j *Job) Snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	var meta map[string]any
+	if len(j.meta) > 0 {
+		meta = make(map[string]any, len(j.meta))
+		for k, v := range j.meta {
+			meta[k] = v
+		}
+	}
 	return Snapshot{
 		ID: j.ID, Kind: j.Kind, State: j.state,
 		Result: j.result, Err: j.err, Attempts: j.attempts,
 		Created: j.created, Started: j.started, Finished: j.finished,
 		TraceID: j.span.TraceID(),
+		Meta:    meta,
 	}
+}
+
+// annotate attaches one metadata key to the job.
+func (j *Job) annotate(key string, value any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.meta == nil {
+		j.meta = make(map[string]any)
+	}
+	j.meta[key] = value
+}
+
+// jobCtxKey carries the executing *Job in its execution context, so code
+// deep inside a job (the distributed coordinator, notably) can annotate it
+// without plumbing the Job through every layer.
+type jobCtxKey struct{}
+
+// Annotate attaches a metadata key/value to the job executing under ctx,
+// visible in later Snapshots (and thus in job status responses). It reports
+// whether ctx belonged to a running job; outside one it is a no-op, so
+// library code may call it unconditionally.
+func Annotate(ctx context.Context, key string, value any) bool {
+	j, ok := ctx.Value(jobCtxKey{}).(*Job)
+	if !ok || j == nil {
+		return false
+	}
+	j.annotate(key, value)
+	return true
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -423,6 +464,7 @@ func (q *Queue) run(j *Job) {
 		defer cancel()
 	}
 	ctx = obs.WithJobID(ctx, j.ID)
+	ctx = context.WithValue(ctx, jobCtxKey{}, j)
 
 	// Queue-wait vs run split: how long the job sat pending, then how long
 	// it executed (spanning retries).

@@ -288,3 +288,40 @@ func TestConcurrentSubmitAndGet(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestAnnotateAttachesMetadata(t *testing.T) {
+	q := New(Config{Workers: 1})
+	defer q.Close(context.Background())
+	j, err := q.Submit("test", func(ctx context.Context) (any, error) {
+		if !Annotate(ctx, "placement", []string{"http://w1", "http://w2"}) {
+			return nil, errors.New("Annotate did not find the job in ctx")
+		}
+		Annotate(ctx, "node", "coord-1")
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := j.Snapshot()
+	if snap.Meta["node"] != "coord-1" {
+		t.Errorf("meta node = %v, want coord-1", snap.Meta["node"])
+	}
+	placement, ok := snap.Meta["placement"].([]string)
+	if !ok || len(placement) != 2 {
+		t.Errorf("meta placement = %v, want two workers", snap.Meta["placement"])
+	}
+	// Snapshots are copies: mutating one must not affect the job.
+	snap.Meta["node"] = "tampered"
+	if j.Snapshot().Meta["node"] != "coord-1" {
+		t.Error("snapshot meta aliases the job's map")
+	}
+}
+
+func TestAnnotateOutsideJobIsNoop(t *testing.T) {
+	if Annotate(context.Background(), "k", "v") {
+		t.Error("Annotate succeeded outside a job context")
+	}
+}

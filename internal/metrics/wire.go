@@ -1,0 +1,203 @@
+package metrics
+
+// Wire codec for Aggregator: the serialization that lets a shard be
+// aggregated on one machine and merged on another (internal/dist). The
+// format is binary and exact — float64 values travel as their IEEE-754 bit
+// patterns — so a decoded aggregator is indistinguishable from the original
+// and distributed merges stay bit-identical to single-process runs. The
+// encoding is also deterministic (pools sorted by key, ticks by index,
+// servers by name), so equal aggregators encode to equal bytes.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// wireVersion guards against decoding a payload produced by an incompatible
+// build; bump it whenever the accumulator layout changes.
+const wireVersion = 1
+
+// wireMagic distinguishes aggregator payloads from arbitrary bytes early.
+var wireMagic = [4]byte{'H', 'A', 'G', 'G'}
+
+// MarshalBinary serializes the aggregator's full accumulated state.
+func (a *Aggregator) MarshalBinary() ([]byte, error) {
+	keys := a.Pools() // sorted: deterministic encoding
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, wireMagic[:]...)
+	buf = appendUint32(buf, wireVersion)
+	buf = appendUint32(buf, uint32(len(keys)))
+	for _, key := range keys {
+		p := a.pools[key]
+		buf = appendString(buf, key.DC)
+		buf = appendString(buf, key.Pool)
+
+		ticks := make([]int, 0, len(p.ticks))
+		for tick := range p.ticks {
+			ticks = append(ticks, tick)
+		}
+		sort.Ints(ticks)
+		buf = appendUint32(buf, uint32(len(ticks)))
+		for _, tick := range ticks {
+			t := p.ticks[tick]
+			buf = appendUint32(buf, uint32(tick))
+			buf = appendUint32(buf, uint32(t.servers))
+			for _, v := range []float64{t.rps, t.cpu, t.latency, t.netBytes,
+				t.netPkts, t.memPages, t.diskQueue, t.diskRead, t.errs} {
+				buf = appendFloat(buf, v)
+			}
+		}
+
+		names := make([]string, 0, len(p.servers))
+		for name := range p.servers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		buf = appendUint32(buf, uint32(len(names)))
+		for _, name := range names {
+			s := p.servers[name]
+			buf = appendString(buf, name)
+			buf = appendString(buf, s.generation)
+			buf = appendUint32(buf, uint32(s.online))
+			buf = appendUint32(buf, uint32(s.windows))
+			// The cpu slice keeps its append order: percentile summaries are
+			// computed over a sorted copy, but preserving order keeps the
+			// decoded accumulator byte-for-byte equal to the original.
+			buf = appendUint32(buf, uint32(len(s.cpu)))
+			for _, v := range s.cpu {
+				buf = appendFloat(buf, v)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary replaces the aggregator's state with the decoded payload.
+// It works on a zero Aggregator as well as one built with NewAggregator.
+func (a *Aggregator) UnmarshalBinary(data []byte) error {
+	d := &wireDecoder{buf: data}
+	var magic [4]byte
+	copy(magic[:], d.bytes(4))
+	if magic != wireMagic {
+		return fmt.Errorf("metrics: not an aggregator payload (bad magic)")
+	}
+	if v := d.uint32(); v != wireVersion {
+		return fmt.Errorf("metrics: aggregator wire version %d, want %d", v, wireVersion)
+	}
+	npools := int(d.uint32())
+	pools := make(map[PoolKey]*poolAcc, npools)
+	for i := 0; i < npools && d.err == nil; i++ {
+		key := PoolKey{DC: d.string(), Pool: d.string()}
+		p := &poolAcc{ticks: make(map[int]*tickAcc), servers: make(map[string]*serverAcc)}
+
+		nticks := int(d.uint32())
+		for j := 0; j < nticks && d.err == nil; j++ {
+			tick := int(d.uint32())
+			t := &tickAcc{servers: int(d.uint32())}
+			t.rps = d.float()
+			t.cpu = d.float()
+			t.latency = d.float()
+			t.netBytes = d.float()
+			t.netPkts = d.float()
+			t.memPages = d.float()
+			t.diskQueue = d.float()
+			t.diskRead = d.float()
+			t.errs = d.float()
+			p.ticks[tick] = t
+		}
+
+		nservers := int(d.uint32())
+		for j := 0; j < nservers && d.err == nil; j++ {
+			name := d.string()
+			s := &serverAcc{generation: d.string()}
+			s.online = int(d.uint32())
+			s.windows = int(d.uint32())
+			ncpu := int(d.uint32())
+			if d.err == nil && ncpu > 0 {
+				if ncpu > d.remaining()/8 {
+					d.err = fmt.Errorf("metrics: truncated aggregator payload (cpu run of %d)", ncpu)
+					break
+				}
+				s.cpu = make([]float64, ncpu)
+				for k := range s.cpu {
+					s.cpu[k] = d.float()
+				}
+			}
+			p.servers[name] = s
+		}
+		pools[key] = p
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("metrics: %d trailing bytes after aggregator payload", d.remaining())
+	}
+	a.pools = pools
+	return nil
+}
+
+// --- primitive encoding ---------------------------------------------------
+
+func appendUint32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// wireDecoder reads the primitives back, latching the first error so the
+// decode loops stay linear instead of error-checking every field.
+type wireDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *wireDecoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *wireDecoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.remaining() < n {
+		d.err = fmt.Errorf("metrics: truncated aggregator payload (want %d bytes, have %d)", n, d.remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *wireDecoder) uint32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *wireDecoder) float() float64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *wireDecoder) string() string {
+	n := int(d.uint32())
+	if d.err == nil && n > d.remaining() {
+		d.err = fmt.Errorf("metrics: truncated aggregator payload (string of %d bytes, have %d)", n, d.remaining())
+		return ""
+	}
+	return string(d.bytes(n))
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"headroom/internal/trace"
+)
+
+// wireFixture builds an aggregator with two pools, offline windows, and
+// awkward float values (negative zero, tiny subnormals) that would not
+// survive a text round-trip.
+func wireFixture() *Aggregator {
+	a := NewAggregator()
+	recs := []trace.Record{
+		{Tick: 0, DC: "dc1", Pool: "A", Server: "a-1", Generation: "g1", Online: true, RPS: 10.5, CPUPct: 37.25, LatencyMs: 3.125, NetBytes: 1e9, Errors: 0.1},
+		{Tick: 0, DC: "dc1", Pool: "A", Server: "a-2", Generation: "g2", Online: true, RPS: 11, CPUPct: math.Copysign(0, -1), LatencyMs: 2.5},
+		{Tick: 1, DC: "dc1", Pool: "A", Server: "a-1", Generation: "g1", Online: false},
+		{Tick: 0, DC: "dc2", Pool: "B", Server: "b-1", Generation: "g1", Online: true, RPS: 0.1 + 0.2, CPUPct: 5e-324, LatencyMs: 7},
+		{Tick: 3, DC: "dc2", Pool: "B", Server: "b-1", Generation: "g1", Online: true, RPS: 1.0 / 3.0, CPUPct: 99.999, LatencyMs: 1e-12},
+	}
+	a.AddAll(recs)
+	return a
+}
+
+func TestWireRoundTripExact(t *testing.T) {
+	a := wireFixture()
+	enc, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var b Aggregator
+	if err := b.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(a.pools, b.pools) {
+		t.Fatalf("decoded aggregator differs from original:\n%#v\nvs\n%#v", a.pools, b.pools)
+	}
+	// Determinism: re-encoding the decoded state yields the same bytes.
+	enc2, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encoded payload differs: %d vs %d bytes", len(enc), len(enc2))
+	}
+}
+
+func TestWireDecodedMergesIdentically(t *testing.T) {
+	// Merging a decoded shard must equal merging the original shard: the
+	// property distributed aggregation rests on.
+	shard1, shard2 := wireFixture(), NewAggregator()
+	shard2.AddAll([]trace.Record{
+		{Tick: 0, DC: "dc3", Pool: "C", Server: "c-1", Generation: "g1", Online: true, RPS: 4, CPUPct: 40, LatencyMs: 4},
+	})
+	enc, err := shard2.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var remote Aggregator
+	if err := remote.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	local := wireFixture()
+	local.Merge(shard2)
+	shard1.Merge(&remote)
+	if !reflect.DeepEqual(local.pools, shard1.pools) {
+		t.Fatal("merge of decoded shard differs from merge of original shard")
+	}
+}
+
+func TestWireRejectsCorruptPayloads(t *testing.T) {
+	enc, err := wireFixture().MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":      nil,
+		"bad magic":  append([]byte("XXXX"), enc[4:]...),
+		"truncated":  enc[:len(enc)/2],
+		"trailing":   append(append([]byte(nil), enc...), 0xFF),
+		"short head": enc[:6],
+	}
+	for name, payload := range cases {
+		var a Aggregator
+		if err := a.UnmarshalBinary(payload); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+	// Wrong version.
+	bad := append([]byte(nil), enc...)
+	bad[4] = 0xFE
+	var a Aggregator
+	if err := a.UnmarshalBinary(bad); err == nil {
+		t.Error("wrong version: decode succeeded, want error")
+	}
+}
+
+func TestWireEmptyAggregator(t *testing.T) {
+	enc, err := NewAggregator().MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var a Aggregator
+	if err := a.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got := a.Pools(); len(got) != 0 {
+		t.Fatalf("decoded empty aggregator has pools %v", got)
+	}
+}

@@ -1,0 +1,457 @@
+package server
+
+// Distributed scale-out: the worker half (the authenticated internal shard
+// endpoint) and the coordinator half (fan a job's shards out to the peer
+// fleet and merge the returned aggregates).
+//
+// The contract that makes this safe is bit-identity: shards own disjoint
+// (pool, datacenter) keys, sources are deterministic, and the aggregator
+// wire codec preserves every float64 bit — so a job distributed across N
+// capserved processes returns byte-for-byte the result a single process
+// would have computed. Placement is rendezvous-hashed on each shard's pool
+// names, dispatches reroute/hedge around slow or dead workers, and with
+// partial results enabled a shard that exhausts every worker degrades the
+// job instead of failing it.
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"headroom"
+	"headroom/internal/breaker"
+	"headroom/internal/dist"
+	"headroom/internal/jobs"
+	"headroom/internal/obs"
+	"headroom/internal/obs/prom"
+)
+
+// shardRequest is the wire request of POST /v1/internal/shard: the original
+// simulate parameters plus the shard coordinates. The worker rebuilds the
+// identical deterministic source from (days, seed, pools) and streams only
+// shard `shard` of `of`.
+type shardRequest struct {
+	Days  int      `json:"days"`
+	Seed  int64    `json:"seed"`
+	Pools []string `json:"pools,omitempty"`
+	Shard int      `json:"shard"`
+	Of    int      `json:"of"`
+}
+
+// shardResponse is the worker's reply: the shard's aggregate in the exact
+// binary wire format (base64 inside JSON), plus provenance.
+type shardResponse struct {
+	Node    string   `json:"node"`
+	Shard   int      `json:"shard"`
+	Of      int      `json:"of"`
+	Pools   []string `json:"pools,omitempty"`
+	Records int64    `json:"records"`
+	Agg     []byte   `json:"agg"`
+}
+
+// ShardPlacement records where one shard of a distributed job ran, surfaced
+// in the job status JSON.
+type ShardPlacement struct {
+	Shard          int      `json:"shard"`
+	Pools          []string `json:"pools,omitempty"`
+	AssignedWorker string   `json:"assigned_worker"`
+	Hedged         bool     `json:"hedged,omitempty"`
+	Attempts       int      `json:"attempts,omitempty"`
+}
+
+// placementMetaKey is the jobs.Annotate key the coordinator stores shard
+// placements under.
+const placementMetaKey = "placement"
+
+// distMetrics holds the coordinator-side capserved_dist_* series.
+type distMetrics struct {
+	dispatched  map[string]*prom.Counter   // by peer
+	failures    map[string]*prom.Counter   // by peer
+	latency     map[string]*prom.Histogram // by peer
+	transitions map[string]map[breaker.State]*prom.Counter
+	reroutes    *prom.Counter
+	hedges      *prom.Counter
+	hedgeWins   *prom.Counter
+	skips       *prom.Counter
+	exhausted   *prom.Counter
+}
+
+// initDist builds the dist client and its metrics; called from New when
+// Config.Peers is non-empty. Invalid distribution config is a deployment
+// error, not a request error, so it panics like a bad flag would.
+func (s *Server) initDist() {
+	client, err := dist.New(dist.Config{
+		Peers:        s.cfg.Peers,
+		Token:        s.cfg.DistToken,
+		Transport:    s.cfg.DistTransport,
+		ShardTimeout: s.cfg.ShardTimeout,
+		HedgeAfter:   s.cfg.HedgeAfter,
+		Clock:        s.cfg.Clock,
+		Logger:       s.cfg.Logger,
+		OnEvent:      s.onDistEvent,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("server: distributed config: %v", err))
+	}
+	s.dist = client
+
+	m := &s.distM
+	m.dispatched = map[string]*prom.Counter{}
+	m.failures = map[string]*prom.Counter{}
+	m.latency = map[string]*prom.Histogram{}
+	m.transitions = map[string]map[breaker.State]*prom.Counter{}
+	for _, peer := range client.Peers() {
+		m.dispatched[peer] = s.reg.Counter("capserved_dist_shards_dispatched_total",
+			"Shard dispatches sent to a worker (reroutes and hedges included).", prom.Labels{"peer": peer})
+		m.failures[peer] = s.reg.Counter("capserved_dist_shard_failures_total",
+			"Shard dispatch attempts that failed, by worker.", prom.Labels{"peer": peer})
+		m.latency[peer] = s.reg.Histogram("capserved_dist_shard_latency_seconds",
+			"Successful shard dispatch latency, by worker.", prom.Labels{"peer": peer}, prom.DefBuckets)
+		byState := map[breaker.State]*prom.Counter{}
+		for _, st := range []breaker.State{breaker.Closed, breaker.Open, breaker.HalfOpen} {
+			byState[st] = s.reg.Counter("capserved_dist_breaker_transitions_total",
+				"Worker circuit-breaker transitions, by destination state.",
+				prom.Labels{"peer": peer, "to": st.String()})
+		}
+		m.transitions[peer] = byState
+		peer := peer
+		s.reg.Gauge("capserved_dist_worker_breaker_state",
+			"Worker circuit-breaker position (0 closed, 1 open, 2 half-open).", prom.Labels{"peer": peer},
+			func() float64 { return float64(client.BreakerState(peer)) })
+	}
+	m.reroutes = s.reg.Counter("capserved_dist_reroutes_total",
+		"Shards rerouted to a fallback worker after a transient failure.", nil)
+	m.hedges = s.reg.Counter("capserved_dist_hedges_total",
+		"Hedged (duplicate) shard dispatches launched for slow primaries.", nil)
+	m.hedgeWins = s.reg.Counter("capserved_dist_hedge_wins_total",
+		"Hedged dispatches that answered before the primary.", nil)
+	m.skips = s.reg.Counter("capserved_dist_breaker_skips_total",
+		"Candidate workers skipped because their breaker was open.", nil)
+	m.exhausted = s.reg.Counter("capserved_dist_shards_exhausted_total",
+		"Shards that failed on every available worker.", nil)
+	s.reg.Gauge("capserved_dist_peers", "Configured distributed workers.", nil,
+		func() float64 { _, total := client.OpenBreakers(); return float64(total) })
+	s.reg.Gauge("capserved_dist_peers_open", "Workers whose circuit breaker is open.", nil,
+		func() float64 { open, _ := client.OpenBreakers(); return float64(open) })
+}
+
+// onDistEvent feeds dispatch lifecycle events into the dist metric series.
+func (s *Server) onDistEvent(ev dist.Event) {
+	m := &s.distM
+	switch ev.Kind {
+	case dist.EventDispatch:
+		if c, ok := m.dispatched[ev.Peer]; ok {
+			c.Inc()
+		}
+	case dist.EventSuccess:
+		if h, ok := m.latency[ev.Peer]; ok {
+			h.Observe(ev.Latency.Seconds())
+		}
+	case dist.EventFailure:
+		if c, ok := m.failures[ev.Peer]; ok {
+			c.Inc()
+		}
+	case dist.EventReroute:
+		m.reroutes.Inc()
+	case dist.EventHedge:
+		m.hedges.Inc()
+	case dist.EventHedgeWin:
+		m.hedgeWins.Inc()
+	case dist.EventSkip:
+		m.skips.Inc()
+	case dist.EventExhausted:
+		m.exhausted.Inc()
+	case dist.EventBreaker:
+		if by, ok := m.transitions[ev.Peer]; ok {
+			if c, ok := by[ev.To]; ok {
+				c.Inc()
+			}
+		}
+	}
+}
+
+// --- worker half ---------------------------------------------------------
+
+// handleInternalShard serves POST /v1/internal/shard: authenticate, rebuild
+// the deterministic source, run exactly one shard through the session
+// machinery, and return the encoded aggregate. Registered only when a
+// DistToken is configured.
+func (s *Server) handleInternalShard(w http.ResponseWriter, r *http.Request) {
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get(dist.TokenHeader)), []byte(s.cfg.DistToken)) != 1 {
+		writeJSON(w, http.StatusForbidden, errBody(r, "invalid or missing "+dist.TokenHeader))
+		return
+	}
+	// Shard work bypasses the job queue (the coordinator already holds a
+	// queue slot for the whole job), so a separate semaphore bounds it; at
+	// capacity the worker answers 503 and the coordinator reroutes.
+	select {
+	case s.shardSem <- struct{}{}:
+		defer func() { <-s.shardSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errBody(r, "shard capacity exhausted"))
+		return
+	}
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil || int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errBody(r, "unreadable or oversized body"))
+		return
+	}
+	var sreq shardRequest
+	if err := decode(body, &sreq); err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	if sreq.Of < 1 || sreq.Shard < 0 || sreq.Shard >= sreq.Of {
+		s.badRequest(w, r, fmt.Errorf("shard %d/%d out of range", sreq.Shard, sreq.Of))
+		return
+	}
+	simReq := SimulateRequest{Days: sreq.Days, Seed: sreq.Seed, Pools: sreq.Pools}
+	if err := simReq.normalize(); err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	cfg, err := simReq.fleet()
+	if err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+
+	// The coordinator's trace id rides in as a span attribute so operators
+	// can hop from a job's trace to the worker-side shard spans.
+	ctx, sp := obs.StartSpan(r.Context(), "dist.shard.serve",
+		obs.Int("shard", sreq.Shard), obs.Int("of", sreq.Of),
+		obs.Str("coordinator_trace_id", r.Header.Get(dist.TraceHeader)))
+	defer sp.End()
+
+	src := s.wrapSource(headroom.NewSimSource(cfg, simReq.Days), simReq.Seed)
+	sess, err := headroom.New(context.Background(), headroom.WithSource(src))
+	if err != nil {
+		sp.RecordError(err)
+		writeJSON(w, http.StatusInternalServerError, errBody(r, err.Error()))
+		return
+	}
+	agg, records, err := sess.AggregateShard(ctx, sreq.Shard, sreq.Of)
+	if err != nil {
+		sp.RecordError(err)
+		// Transient shard failures (and this worker shutting down) are the
+		// coordinator's cue to reroute; anything else is permanent for this
+		// request on every worker.
+		if headroom.IsTransient(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeJSON(w, http.StatusServiceUnavailable, errBody(r, err.Error()))
+			return
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, errBody(r, err.Error()))
+		return
+	}
+	enc, err := headroom.EncodeAggregator(agg)
+	if err != nil {
+		sp.RecordError(err)
+		writeJSON(w, http.StatusInternalServerError, errBody(r, err.Error()))
+		return
+	}
+	sp.SetAttr(obs.Int64("records", records), obs.Int("bytes", len(enc)))
+	writeJSON(w, http.StatusOK, shardResponse{
+		Node:    s.hostname,
+		Shard:   sreq.Shard,
+		Of:      sreq.Of,
+		Pools:   shardPoolNames(src, sreq.Shard, sreq.Of),
+		Records: records,
+		Agg:     enc,
+	})
+}
+
+// wrapSource applies the fault injector and resilience layer to a raw
+// source, exactly as single-node aggregation does, so a worker's shard
+// behaves identically to the same shard run locally.
+func (s *Server) wrapSource(src headroom.Source, seed int64) headroom.Source {
+	if s.cfg.Faults != nil {
+		src = s.cfg.Faults.Source(src)
+	}
+	if s.cfg.RetryAttempts > 0 {
+		src = headroom.ResilientSource(src, headroom.RetryPolicy{
+			MaxAttempts: s.cfg.RetryAttempts,
+			Backoff:     s.cfg.RetryBackoff,
+			Seed:        seed,
+			OnRetry:     func(int, error) { s.m.sourceRetries.Inc() },
+		})
+	}
+	return src
+}
+
+// shardPoolNames resolves the pool names of shard index/of of src, when the
+// source can name them.
+func shardPoolNames(src headroom.Source, index, of int) []string {
+	if of == 1 {
+		return poolNames(src)
+	}
+	sh, ok := src.(headroom.ShardedSource)
+	if !ok {
+		return nil
+	}
+	subs := sh.Shards(of)
+	if index >= len(subs) {
+		return nil
+	}
+	return poolNames(subs[index])
+}
+
+func poolNames(src headroom.Source) []string {
+	if pn, ok := src.(headroom.PoolNamer); ok {
+		return pn.PoolNames()
+	}
+	return nil
+}
+
+// --- coordinator half ----------------------------------------------------
+
+// distSimulateAggregate is the distributed counterpart of
+// simulateAggregate: split the request's source into shards, dispatch each
+// to the worker fleet, and merge the returned aggregates in shard order.
+// The merged aggregate is byte-identical to the single-node computation.
+func (s *Server) distSimulateAggregate(ctx context.Context, req SimulateRequest) (*headroom.Aggregator, *headroom.PartialError, error) {
+	cfg, err := req.fleet()
+	if err != nil {
+		return nil, nil, err
+	}
+	raw := headroom.NewSimSource(cfg, req.Days)
+	n := s.cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	subs := raw.Shards(n)
+	// The source decides how many shards it actually splits into (never
+	// more than asked, fewer when it has fewer pools); `of` is that actual
+	// count, and every worker reproduces the identical split.
+	of := len(subs)
+	if of < 1 {
+		subs, of = []headroom.Source{raw}, 1
+	}
+
+	ctx, aggSp := obs.StartSpan(ctx, "dist.aggregate",
+		obs.Int("shards", of), obs.Int("peers", len(s.dist.Peers())))
+	aggStart := time.Now()
+	defer aggSp.End()
+
+	type shardOutcome struct {
+		res dist.Result
+		err error
+	}
+	pools := make([][]string, of)
+	outcomes := make([]shardOutcome, of)
+	done := make(chan int, of)
+	for i := 0; i < of; i++ {
+		pools[i] = poolNames(subs[i])
+		key := strings.Join(pools[i], ",")
+		if key == "" {
+			key = "shard-" + strconv.Itoa(i)
+		}
+		body, err := json.Marshal(shardRequest{
+			Days: req.Days, Seed: req.Seed, Pools: req.Pools, Shard: i, Of: of,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		go func(i int, key string, body []byte) {
+			sctx, sp := obs.StartSpan(ctx, "dist.shard",
+				obs.Int("shard", i), obs.Str("pool", key))
+			res, err := s.dist.Dispatch(sctx, dist.Shard{Key: key, Index: i, Of: of, Body: body})
+			if err == nil {
+				sp.SetAttr(obs.Str("worker", res.Worker),
+					obs.Bool("hedged", res.Hedged), obs.Int("attempts", res.Attempts))
+			}
+			sp.RecordError(err)
+			sp.End()
+			outcomes[i] = shardOutcome{res: res, err: err}
+			done <- i
+		}(i, key, body)
+	}
+	for range outcomes {
+		<-done
+	}
+	obs.ObserveStage("aggregate", time.Since(aggStart))
+
+	// Decode and merge in shard order; decode failures count as shard
+	// failures (transient — the worker may answer cleanly on retry).
+	placements := make([]ShardPlacement, 0, of)
+	aggs := make([]*headroom.Aggregator, of)
+	errs := make([]error, of)
+	for i, oc := range outcomes {
+		if oc.err != nil {
+			errs[i] = oc.err
+			continue
+		}
+		var resp shardResponse
+		if err := json.Unmarshal(oc.res.Body, &resp); err != nil {
+			errs[i] = jobs.Transient(fmt.Errorf("shard %d: malformed response from %s: %w", i, oc.res.Worker, err))
+			continue
+		}
+		agg, err := headroom.DecodeAggregator(resp.Agg)
+		if err != nil {
+			errs[i] = jobs.Transient(fmt.Errorf("shard %d: undecodable aggregate from %s: %w", i, oc.res.Worker, err))
+			continue
+		}
+		aggs[i] = agg
+		placements = append(placements, ShardPlacement{
+			Shard: i, Pools: pools[i], AssignedWorker: oc.res.Worker,
+			Hedged: oc.res.Hedged, Attempts: oc.res.Attempts,
+		})
+	}
+	jobs.Annotate(ctx, placementMetaKey, placements)
+
+	mergeStart := time.Now()
+	var out *headroom.Aggregator
+	pe := &headroom.PartialError{Shards: of}
+	for i := range subs {
+		if errs[i] != nil {
+			pe.Failed = append(pe.Failed, headroom.PoolError{Shard: i, Pools: pools[i], Err: errs[i]})
+			continue
+		}
+		if out == nil {
+			out = aggs[i]
+		} else {
+			out.Merge(aggs[i])
+		}
+	}
+	obs.ObserveStage("merge", time.Since(mergeStart))
+
+	if len(pe.Failed) == 0 {
+		return out, nil, nil
+	}
+	aggSp.RecordError(pe)
+	if s.cfg.PartialResults && out != nil {
+		// Degraded: the surviving shards' merge plus the failed pools —
+		// mirroring single-node partial results.
+		return out, pe, nil
+	}
+	// Without partial results (or with nothing salvaged) the job fails; a
+	// transient shard failure marks the whole job retryable.
+	for _, f := range pe.Failed {
+		var se *dist.ShardError
+		if errors.As(f.Err, &se) && se.Transient {
+			return nil, nil, jobs.Transient(pe)
+		}
+		if jobs.IsTransient(f.Err) {
+			return nil, nil, jobs.Transient(pe)
+		}
+	}
+	return nil, nil, pe
+}
+
+// DistStats exposes the worker-fleet breaker view for tests and /readyz.
+func (s *Server) DistStats() (open, total int) {
+	if s.dist == nil {
+		return 0, 0
+	}
+	return s.dist.OpenBreakers()
+}

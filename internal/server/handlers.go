@@ -214,22 +214,17 @@ type SimulateResult struct {
 // (degraded result). Transient errors that escape the resilience layer are
 // re-marked for the job queue so the job itself is retried.
 func (s *Server) simulateAggregate(ctx context.Context, req SimulateRequest, plan *headroom.PlanConfig) (*headroom.Aggregator, *headroom.PartialError, error) {
+	if s.dist != nil {
+		// Distributed scale-out: shards run on the peer fleet (which applies
+		// its own fault injection and resilience) and merge here, byte-
+		// identical to the local computation below.
+		return s.distSimulateAggregate(ctx, req)
+	}
 	cfg, err := req.fleet()
 	if err != nil {
 		return nil, nil, err
 	}
-	var src headroom.Source = headroom.NewSimSource(cfg, req.Days)
-	if s.cfg.Faults != nil {
-		src = s.cfg.Faults.Source(src)
-	}
-	if s.cfg.RetryAttempts > 0 {
-		src = headroom.ResilientSource(src, headroom.RetryPolicy{
-			MaxAttempts: s.cfg.RetryAttempts,
-			Backoff:     s.cfg.RetryBackoff,
-			Seed:        req.Seed,
-			OnRetry:     func(int, error) { s.m.sourceRetries.Inc() },
-		})
-	}
+	src := s.wrapSource(headroom.NewSimSource(cfg, req.Days), req.Seed)
 	opts := []headroom.Option{
 		headroom.WithSource(src),
 		headroom.WithShards(s.cfg.Shards),

@@ -38,12 +38,14 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"headroom/internal/breaker"
+	"headroom/internal/dist"
 	"headroom/internal/faults"
 	"headroom/internal/jobcache"
 	"headroom/internal/jobs"
@@ -97,6 +99,23 @@ type Config struct {
 	// ReadyHighWatermark marks the server not-ready (/readyz 503) while
 	// the pending queue is at or above it; default 3/4 of the queue depth.
 	ReadyHighWatermark int
+	// Peers enables distributed scale-out: simulate/plan shards are
+	// dispatched to these capserved worker base URLs instead of aggregating
+	// locally. Requires DistToken. Empty disables distribution.
+	Peers []string
+	// DistToken is the shared secret authenticating internal shard traffic
+	// (X-Dist-Token). Setting it (even without Peers) makes this process
+	// serve POST /v1/internal/shard as a worker.
+	DistToken string
+	// ShardTimeout bounds one distributed shard dispatch end to end
+	// (reroutes and hedges included); default 1 minute.
+	ShardTimeout time.Duration
+	// HedgeAfter tunes hedged shard dispatches: positive hedges after that
+	// fixed delay, zero adapts to 2× the worker's EWMA latency, negative
+	// disables hedging.
+	HedgeAfter time.Duration
+	// DistTransport overrides the dispatch HTTP transport, for tests.
+	DistTransport http.RoundTripper
 	// Faults, when set, injects deterministic faults into every job's
 	// record source — the chaos-testing hook (see internal/faults).
 	Faults *faults.Injector
@@ -172,7 +191,15 @@ type Server struct {
 	draining atomic.Bool
 	rate     rateTracker
 
-	m serverMetrics
+	// Distributed scale-out (see dist.go): the dispatch client when this
+	// process coordinates, the shard-work semaphore when it serves shards,
+	// and the hostname stamped into job status and shard responses.
+	dist     *dist.Client
+	shardSem chan struct{}
+	hostname string
+
+	m     serverMetrics
+	distM distMetrics
 }
 
 // serverMetrics holds the pre-registered metric series.
@@ -247,7 +274,17 @@ func New(cfg Config) *Server {
 		OnStateChange: s.onJobState,
 	})
 	s.readyHWM = cfg.readyHighWatermark(s.queue.QueueDepth())
+	s.hostname, _ = os.Hostname()
+	if s.hostname == "" {
+		s.hostname = "local"
+	}
+	// Shard work bypasses the job queue; bound it at twice the worker pool
+	// so a coordinator burst cannot starve this node's own jobs.
+	s.shardSem = make(chan struct{}, 2*s.queue.Workers())
 	s.initMetrics()
+	if len(cfg.Peers) > 0 {
+		s.initDist()
+	}
 	if cfg.BreakerThreshold > 0 {
 		s.breakers = make(map[string]*breaker.Breaker, len(jobKinds))
 		for _, kind := range jobKinds {
@@ -329,7 +366,7 @@ func (s *Server) initMetrics() {
 				return 0
 			})
 	}
-	for _, h := range append([]string{"jobs", "healthz", "readyz", "metrics"}, jobKinds...) {
+	for _, h := range append([]string{"jobs", "healthz", "readyz", "metrics", "internal_shard"}, jobKinds...) {
 		m.reqTotal[h] = s.reg.Counter("capserved_http_requests_total",
 			"HTTP requests served, by handler.", prom.Labels{"handler": h})
 		m.reqDuration[h] = s.reg.Histogram("capserved_request_duration_seconds",
@@ -459,6 +496,9 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /readyz", s.instrument("readyz", http.HandlerFunc(s.handleReadyz)))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", http.HandlerFunc(s.handleMetrics)))
+	if s.cfg.DistToken != "" {
+		s.mux.Handle("POST "+dist.DefaultPath, s.instrument("internal_shard", http.HandlerFunc(s.handleInternalShard)))
+	}
 	// Debug endpoints are served raw: instrumenting them would add a trace
 	// to the ring per /debug/traces view.
 	s.mux.Handle("GET /debug/traces", obs.TracesHandler(s.cfg.Tracer))
@@ -526,6 +566,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if qErr := s.queue.Close(drainCtx); err == nil {
 		err = qErr
 	}
+	if s.dist != nil {
+		s.dist.Close()
+	}
 	<-errCh // Serve has returned http.ErrServerClosed
 	if err != nil {
 		return fmt.Errorf("server: drain: %w", err)
@@ -538,7 +581,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // their own HTTP server (httptest).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.queue.Close(ctx)
+	err := s.queue.Close(ctx)
+	if s.dist != nil {
+		s.dist.Close()
+	}
+	return err
 }
 
 // --- HTTP plumbing -------------------------------------------------------
@@ -580,10 +627,14 @@ type jobView struct {
 	Finished *time.Time      `json:"finished,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
 	Error    string          `json:"error,omitempty"`
-	Self     string          `json:"self"`
+	// Node is the hostname of the coordinator that ran (or is running) the
+	// job; Placement lists where each shard of a distributed job executed.
+	Node      string           `json:"node"`
+	Placement []ShardPlacement `json:"placement,omitempty"`
+	Self      string           `json:"self"`
 }
 
-func viewOf(j *jobs.Job) jobView {
+func (s *Server) viewOf(j *jobs.Job) jobView {
 	snap := j.Snapshot()
 	v := jobView{
 		JobID:    snap.ID,
@@ -592,7 +643,11 @@ func viewOf(j *jobs.Job) jobView {
 		Attempts: snap.Attempts,
 		TraceID:  snap.TraceID,
 		Created:  snap.Created,
+		Node:     s.hostname,
 		Self:     "/v1/jobs/" + snap.ID,
+	}
+	if pl, ok := snap.Meta[placementMetaKey].([]ShardPlacement); ok {
+		v.Placement = pl
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started
@@ -695,17 +750,17 @@ func (s *Server) handleSubmit(kind string) http.Handler {
 			j.Wait(waitCtx)
 			if !j.State().Terminal() {
 				// Timed out waiting: fall back to the async envelope.
-				writeJSON(w, http.StatusAccepted, viewOf(j))
+				writeJSON(w, http.StatusAccepted, s.viewOf(j))
 				return
 			}
 			code := http.StatusOK
 			if j.State() == jobs.Failed {
 				code = http.StatusUnprocessableEntity
 			}
-			writeJSON(w, code, viewOf(j))
+			writeJSON(w, code, s.viewOf(j))
 			return
 		}
-		writeJSON(w, http.StatusAccepted, viewOf(j))
+		writeJSON(w, http.StatusAccepted, s.viewOf(j))
 	})
 }
 
@@ -734,7 +789,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errBody(r, fmt.Sprintf("no job %q", id)))
 		return
 	}
-	writeJSON(w, http.StatusOK, viewOf(j))
+	writeJSON(w, http.StatusOK, s.viewOf(j))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -766,6 +821,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			"depth":          st.Depth,
 			"high_watermark": s.readyHWM,
 		})
+	case s.distDegraded():
+		// Most of the worker fleet is unreachable: distributed jobs would
+		// reroute everything onto the few survivors (or fail), so stop
+		// taking new traffic until breakers start closing.
+		open, total := s.DistStats()
+		s.m.notReady.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":     "degraded",
+			"peers_open": open,
+			"peers":      total,
+		})
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":         "ready",
@@ -773,6 +839,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			"high_watermark": s.readyHWM,
 		})
 	}
+}
+
+// distDegraded reports whether more than half the configured distributed
+// workers have an open circuit breaker — the /readyz "degraded" condition.
+func (s *Server) distDegraded() bool {
+	open, total := s.DistStats()
+	return total > 0 && 2*open > total
 }
 
 // retryAfterCeil rounds a duration up to whole seconds (minimum 1).

@@ -464,6 +464,63 @@ func mergePartial(ctx context.Context, subs []Source, aggs []*Aggregator, errs [
 	return out, pe
 }
 
+// AggregateShard consumes exactly one shard of the session's configured
+// source: the source is split into `of` sub-sources (as Aggregate would) and
+// only shard `index` is streamed, sequentially, into a fresh aggregator. It
+// returns the shard's aggregate and the number of records consumed.
+//
+// This is the worker half of distributed aggregation (internal/dist): a
+// coordinator splits a job into shards, ships (index, of) plus the request to
+// a fleet of workers, and each worker reproduces the identical shard split —
+// sources are deterministic, so equal configuration yields equal shards —
+// runs its one shard, and returns the aggregate via EncodeAggregator.
+// Merging the per-shard aggregates in shard order is then bit-identical to a
+// single-process sharded run.
+func (s *Session) AggregateShard(ctx context.Context, index, of int) (*Aggregator, int64, error) {
+	if s.source == nil {
+		return nil, 0, ErrNoSource
+	}
+	if of < 1 {
+		return nil, 0, fmt.Errorf("headroom: AggregateShard shard count %d, want >= 1", of)
+	}
+	if index < 0 || index >= of {
+		return nil, 0, fmt.Errorf("headroom: shard index %d out of range [0, %d)", index, of)
+	}
+	ctx, done := s.opCtx(ctx)
+	defer done()
+	subs := []Source{s.source}
+	if of > 1 {
+		sh, ok := s.source.(ShardedSource)
+		if !ok {
+			return nil, 0, fmt.Errorf("headroom: source %T cannot split into %d shards", s.source, of)
+		}
+		subs = sh.Shards(of)
+	}
+	if len(subs) != of {
+		return nil, 0, fmt.Errorf("headroom: source split into %d shards, coordinator expected %d", len(subs), of)
+	}
+	sub := subs[index]
+	pools := strings.Join(poolNamesOf(sub), ",")
+	sctx, sp := obs.StartSpan(ctx, "simulate.pool",
+		obs.Str("pool", pools), obs.Int("shard", index))
+	start := time.Now()
+	agg := metrics.NewAggregator()
+	var records int64
+	err := sub.Stream(sctx, func(r Record) error { agg.Add(r); records++; return nil })
+	d := time.Since(start)
+	sp.SetAttr(obs.Int64("records", records))
+	sp.RecordError(err)
+	sp.End()
+	s.stageDone(StageEvent{
+		Stage: "aggregate.shard", Pool: pools, Shard: index,
+		Records: int(records), Duration: d, Err: err,
+	})
+	if err != nil {
+		return nil, records, err
+	}
+	return agg, records, nil
+}
+
 // Stream streams a record source sequentially through emit, for workloads
 // too large to aggregate in one pass or for writing traces to disk. A nil
 // src uses the session's configured source.
