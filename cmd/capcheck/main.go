@@ -1,0 +1,78 @@
+// Command capcheck replays differential verification cases outside the test
+// harness. Its main job is triage: when TestDifferentialPaths or
+// FuzzDifferential reports a diverging seed,
+//
+//	capcheck -seed 1234 -v
+//
+// reruns exactly that case through all four execution paths and prints the
+// first diverging JSON field. Without -seed it sweeps a seed range, which is
+// useful for soak runs longer than the test suite's default:
+//
+//	capcheck -start 1 -n 1000
+//
+// Exit status is 1 if any case diverged (or leaked goroutines), 0 otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"headroom/internal/diffcheck"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "replay exactly this generator seed (overrides -start/-n)")
+	start := flag.Int64("start", 1, "first seed of the sweep")
+	n := flag.Int("n", 25, "number of consecutive seeds to sweep")
+	verbose := flag.Bool("v", false, "print every case and each path's outcome, not just divergences")
+	flag.Parse()
+
+	seeds := make([]int64, 0, *n)
+	if *seed != 0 {
+		seeds = append(seeds, *seed)
+	} else {
+		for i := 0; i < *n; i++ {
+			seeds = append(seeds, *start+int64(i))
+		}
+	}
+
+	ctx := context.Background()
+	diverged := 0
+	for _, s := range seeds {
+		c := diffcheck.Generate(s)
+		if *verbose {
+			fmt.Printf("case %s\n", c)
+		}
+		rep, err := diffcheck.RunCase(ctx, c, diffcheck.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capcheck: case %s\n  harness error: %v\n", c, err)
+			os.Exit(2)
+		}
+		if *verbose {
+			for _, p := range rep.Paths {
+				status := "ok"
+				switch {
+				case p.Err != "":
+					status = "error: " + p.Err
+				case p.Degraded:
+					status = fmt.Sprintf("degraded, failed_pools=%v", p.FailedPools)
+				}
+				if p.CacheHit {
+					status += " (cache hit)"
+				}
+				fmt.Printf("  %-13s %s\n", p.Name, status)
+			}
+		}
+		if rep.Diff != "" {
+			diverged++
+			fmt.Fprintf(os.Stderr, "DIVERGED case %s\n  %s\n", c, rep.Diff)
+		}
+	}
+	if diverged > 0 {
+		fmt.Fprintf(os.Stderr, "capcheck: %d of %d cases diverged\n", diverged, len(seeds))
+		os.Exit(1)
+	}
+	fmt.Printf("capcheck: %d cases, all paths agreed\n", len(seeds))
+}

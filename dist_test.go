@@ -8,9 +8,11 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"headroom"
+	"headroom/internal/faults"
 )
 
 // TestAggregateShardMergeIdentical is the distributed-identity property: an
@@ -97,5 +99,34 @@ func TestAggregateShardValidation(t *testing.T) {
 	}
 	if _, _, err := bare.AggregateShard(ctx, 0, 1); !errors.Is(err, headroom.ErrNoSource) {
 		t.Errorf("no-source AggregateShard error = %v, want ErrNoSource", err)
+	}
+}
+
+// TestAggregateShardPanicIsolated pins the worker half of panic isolation:
+// a panic inside the shard's stream must come back as an error naming the
+// shard — exactly as the in-process sharded fan-out reports it — instead of
+// unwinding into the caller (which, on a dist worker, would kill the whole
+// process and every other shard it serves).
+func TestAggregateShardPanicIsolated(t *testing.T) {
+	ctx := context.Background()
+	cfg := headroom.DefaultFleet(9)
+	cfg.Pools = cfg.Pools[:2]
+	inj := faults.New(7, faults.Rule{Kind: faults.Panic, Pools: []string{cfg.Pools[1].Name}, At: []int{0}, Msg: "injected crash"})
+	s, err := headroom.New(ctx, headroom.WithSource(inj.Source(headroom.NewSimSource(cfg, 1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 0 (pool 0) is untouched.
+	if _, n, err := s.AggregateShard(ctx, 0, 2); err != nil || n == 0 {
+		t.Fatalf("healthy shard: n=%d err=%v", n, err)
+	}
+	// Shard 1 (pool 1) panics: the panic must surface as a shard error.
+	_, _, err = s.AggregateShard(ctx, 1, 2)
+	if err == nil {
+		t.Fatal("panicking shard returned nil error")
+	}
+	if !strings.Contains(err.Error(), "shard 1 panicked") || !strings.Contains(err.Error(), "injected crash") {
+		t.Errorf("error = %q, want shard-1 panic message", err)
 	}
 }

@@ -505,6 +505,16 @@ func (c *Client) send(ctx context.Context, peer string, sh Shard, hedged bool) a
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
+		if errors.Is(ctx.Err(), context.Canceled) {
+			// The dispatch cancelled this attempt mid-read because a sibling
+			// won; the worker did nothing wrong, so the outcome is neutral —
+			// charging a Failure here opens an innocent worker's breaker.
+			if br != nil {
+				br.Release()
+			}
+			out.err, out.canceled = ctx.Err(), true
+			return out
+		}
 		if br != nil {
 			br.Failure()
 		}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -494,5 +496,84 @@ func BenchmarkDistDispatchOverhead(b *testing.B) {
 		if _, err := c.Dispatch(ctx, sh); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDistDispatchSlowLoserNeutral forces a slow loser: the rendezvous
+// primary streams a partial body and stalls, the hedge wins, and the
+// dispatch cancels the primary mid-read. The cancelled loser must neither
+// block nor leak (leakcheck) and must not be charged a breaker failure —
+// with Threshold 1, a single misattributed Failure would open an innocent
+// worker's breaker. Uses real HTTP servers because the stall happens while
+// streaming the response body, which the loopback transport cannot model.
+func TestDistDispatchSlowLoserNeutral(t *testing.T) {
+	leakcheck.Check(t)
+
+	var slowHost atomic.Value // "host:port" of the rendezvous primary
+	slowHost.Store("")
+	slowDone := make(chan struct{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Host != slowHost.Load().(string) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, "fast-winner")
+			return
+		}
+		defer close(slowDone)
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "partial-")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // stall mid-body until the dispatch cancels us
+	})
+	s1 := httptest.NewServer(handler)
+	defer s1.Close()
+	s2 := httptest.NewServer(handler)
+	defer s2.Close()
+
+	peers := []string{s1.URL, s2.URL}
+	order := Rank("slow-loser", peers)
+	slowHost.Store(strings.TrimPrefix(order[0], "http://"))
+
+	var failures atomic.Int64
+	c, err := New(Config{
+		Peers:            peers,
+		Token:            "secret",
+		HedgeAfter:       5 * time.Millisecond,
+		BreakerThreshold: 1,
+		OnEvent: func(ev Event) {
+			if ev.Kind == EventFailure {
+				failures.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Dispatch(context.Background(), Shard{Key: "slow-loser", Index: 0, Of: 2, Body: []byte(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged || res.Worker != order[1] {
+		t.Fatalf("result = worker %s hedged %v, want hedge winner %s", res.Worker, res.Hedged, order[1])
+	}
+
+	// The loser's attempt goroutine finishes after Dispatch returns; wait for
+	// the cancel to reach the stalled handler, then hold the breaker under
+	// observation long enough for the loser's accounting to land.
+	select {
+	case <-slowDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel never reached the stalled primary")
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if st := c.BreakerState(order[0]); st != breaker.Closed {
+			t.Fatalf("loser breaker = %v; a dispatch-cancelled attempt was charged as a failure", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := failures.Load(); n != 0 {
+		t.Errorf("failure events = %d, want 0 (cancelled loser is neutral)", n)
 	}
 }

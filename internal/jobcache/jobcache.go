@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,10 @@ type call struct {
 	done chan struct{}
 	val  any
 	err  error
+	// joined counts callers attached to this flight (written under Cache.mu
+	// before they block on done). Shared is only counted after a successful
+	// flight, so tests that need "everyone has attached" poll this instead.
+	joined int
 }
 
 // Cache is a bounded LRU of computed results with single-flight
@@ -98,8 +103,13 @@ func (c *Cache) Get(key string) (any, bool) {
 // Do returns the value for key, computing it with fn on a miss. Concurrent
 // calls for the same key share a single fn execution (single-flight); the
 // value is cached only on success, so errors are retried by the next
-// caller. hit reports whether the value came from cache or a shared flight
-// rather than a fresh execution by this caller.
+// caller. hit reports whether a usable value came from the cache or from a
+// shared flight rather than a fresh execution by this caller: a joined
+// flight that failed is not a hit (hit is false and the flight's error is
+// returned).
+//
+// A panicking fn does not wedge the key: the in-flight entry is removed and
+// waiters receive an error, while the panic propagates to fn's caller.
 func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -110,17 +120,36 @@ func (c *Cache) Do(key string, fn func() (any, error)) (val any, hit bool, err e
 		return v, true, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
+		fl.joined++
 		c.mu.Unlock()
-		c.shared.Add(1)
 		<-fl.done
-		return fl.val, true, fl.err
+		if fl.err != nil {
+			// The shared execution failed; joining it is not a hit.
+			return fl.val, false, fl.err
+		}
+		c.shared.Add(1)
+		return fl.val, true, nil
 	}
 	fl := &call{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
 	c.misses.Add(1)
+	finished := false
+	defer func() {
+		if !finished {
+			// fn panicked: remove the wedged flight and wake waiters with an
+			// error before the panic continues unwinding, so later (and
+			// concurrent) calls for this key recompute instead of hanging.
+			fl.err = errors.New("jobcache: computation panicked")
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(fl.done)
+		}
+	}()
 	fl.val, fl.err = fn()
+	finished = true
 
 	store := fl.err == nil
 	if u, ok := fl.val.(Uncacheable); ok {
@@ -164,7 +193,8 @@ func (c *Cache) Len() int {
 // Stats is a point-in-time view of cache effectiveness.
 type Stats struct {
 	// Hits counts Do calls answered from the cache; Shared counts calls
-	// answered by joining another caller's in-flight computation; Misses
+	// answered with a successful value by joining another caller's in-flight
+	// computation (a joined flight that failed counts as neither); Misses
 	// counts calls that executed fn.
 	Hits, Misses, Shared int64
 	// Uncacheable counts executions whose result asked not to be stored

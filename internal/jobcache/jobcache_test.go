@@ -3,9 +3,11 @@ package jobcache
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestKeyDeterministicAndDistinct(t *testing.T) {
@@ -142,8 +144,21 @@ func TestSingleFlightDedup(t *testing.T) {
 			results[i], hits[i] = v, hit
 		}(i)
 	}
-	// Let every goroutine reach Do before releasing the one computation.
-	for c.Stats().Shared+c.Stats().Misses < n {
+	// Let every goroutine attach to the flight before releasing the one
+	// computation. Shared is only counted after a successful join, so poll
+	// the flight's joined count instead of the stats counters.
+	for {
+		c.mu.Lock()
+		fl, ok := c.inflight["k"]
+		joined := 0
+		if ok {
+			joined = fl.joined
+		}
+		c.mu.Unlock()
+		if ok && joined == n-1 {
+			break
+		}
+		runtime.Gosched()
 	}
 	close(gate)
 	wg.Wait()
@@ -197,5 +212,133 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 8 {
 		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}
+
+// TestFailedFlightNotHit pins the error-flight contract: a caller who joins
+// another caller's in-flight computation that ultimately fails must see
+// hit=false and the flight's error, and must bump neither Hits nor Shared.
+func TestFailedFlightNotHit(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, hit, err := c.Do("k", func() (any, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+		if hit || !errors.Is(err, boom) {
+			t.Errorf("leader: hit=%v err=%v, want hit=false err=boom", hit, err)
+		}
+	}()
+	<-started
+
+	const joiners = 4
+	ready := make(chan struct{}, joiners)
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ready <- struct{}{}
+			_, hit, err := c.Do("k", func() (any, error) {
+				// Only runs if this goroutine raced past the flight and became
+				// a leader itself; return the same error so the assertions
+				// below still hold for this caller.
+				return nil, boom
+			})
+			if hit {
+				t.Error("joiner of a failed flight reported hit=true")
+			}
+			if !errors.Is(err, boom) {
+				t.Errorf("joiner err = %v, want boom", err)
+			}
+		}()
+	}
+	for i := 0; i < joiners; i++ {
+		<-ready
+	}
+	// All joiners are at most an instruction away from registering on the
+	// flight; the pause makes a stray self-leader vanishingly unlikely.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Hits != 0 || s.Shared != 0 {
+		t.Errorf("stats = %+v; a failed flight must count as neither hit nor shared", s)
+	}
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (only the leader executed)", s.Misses)
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d; errors must not be cached", c.Len())
+	}
+}
+
+// TestPanickingFnDoesNotWedgeKey pins panic behavior: the panic propagates to
+// the leader's caller, a concurrent joiner receives an error instead of
+// blocking forever, and the key is recomputable afterward.
+func TestPanickingFnDoesNotWedgeKey(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	joinerErr := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() {
+		<-started
+		close(ready)
+		_, hit, err := c.Do("k", func() (any, error) {
+			// Only runs if this goroutine raced past the flight; fail the
+			// same way so the channel still carries a non-nil error.
+			return nil, errors.New("jobcache: computation panicked")
+		})
+		if hit {
+			t.Error("joiner of a panicked flight reported hit=true")
+		}
+		joinerErr <- err
+	}()
+
+	go func() {
+		<-ready
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate out of Do")
+			}
+		}()
+		c.Do("k", func() (any, error) {
+			close(started)
+			<-release
+			panic("kaboom")
+		})
+	}()
+
+	select {
+	case err := <-joinerErr:
+		if err == nil {
+			t.Error("joiner got nil error from a panicked flight")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner still blocked 5s after the flight panicked: key is wedged")
+	}
+
+	// The key must be usable again.
+	v, hit, err := c.Do("k", func() (any, error) { return "fresh", nil })
+	if err != nil || hit || v != "fresh" {
+		t.Errorf("recompute after panic = %v, hit=%v, err=%v", v, hit, err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Shared != 0 {
+		t.Errorf("stats = %+v; panicked flight must count as neither hit nor shared", s)
 	}
 }

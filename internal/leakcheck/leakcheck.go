@@ -7,6 +7,7 @@
 package leakcheck
 
 import (
+	"fmt"
 	"net/http"
 	"runtime"
 	"testing"
@@ -22,25 +23,35 @@ func Check(t testing.TB) {
 	t.Helper()
 	start := runtime.NumGoroutine()
 	t.Cleanup(func() {
-		deadline := time.Now().Add(5 * time.Second)
-		var n int
-		for {
-			// Idle HTTP keep-alive connections park client goroutines; drop
-			// them before each count — a connection may become idle only
-			// after the previous sweep.
-			http.DefaultClient.CloseIdleConnections()
-			n = runtime.NumGoroutine()
-			if n <= start {
-				return
-			}
-			if time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
+		if err := Settle(start, 5*time.Second); err != nil {
+			t.Error(err)
 		}
-		buf := make([]byte, 1<<20)
-		buf = buf[:runtime.Stack(buf, true)]
-		t.Errorf("leakcheck: %d goroutines at cleanup, %d at start (%s); stacks:\n%s",
-			n, start, summarize(ParseStacks(buf)), buf)
 	})
+}
+
+// Settle waits up to grace for the goroutine count to return to start and
+// returns an error (with parsed stacks) if it never does. It is the
+// non-testing half of Check, usable from tools like cmd/capcheck that need
+// leak detection outside a *testing.T.
+func Settle(start int, grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	var n int
+	for {
+		// Idle HTTP keep-alive connections park client goroutines; drop
+		// them before each count — a connection may become idle only
+		// after the previous sweep.
+		http.DefaultClient.CloseIdleConnections()
+		n = runtime.NumGoroutine()
+		if n <= start {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("leakcheck: %d goroutines at settle, %d at start (%s); stacks:\n%s",
+		n, start, summarize(ParseStacks(buf)), buf)
 }

@@ -86,13 +86,17 @@ func (a *Aggregator) UnmarshalBinary(data []byte) error {
 	if v := d.uint32(); v != wireVersion {
 		return fmt.Errorf("metrics: aggregator wire version %d, want %d", v, wireVersion)
 	}
-	npools := int(d.uint32())
+	// Count prefixes come off the wire before the data they describe, so each
+	// is bounded by the bytes actually present (divided by the smallest
+	// possible encoding of one element) before it sizes an allocation or a
+	// loop — a forged prefix must fail fast, not reserve gigabytes or panic.
+	npools := d.count(16) // ≥ 2 string lengths + tick and server counts
 	pools := make(map[PoolKey]*poolAcc, npools)
 	for i := 0; i < npools && d.err == nil; i++ {
 		key := PoolKey{DC: d.string(), Pool: d.string()}
 		p := &poolAcc{ticks: make(map[int]*tickAcc), servers: make(map[string]*serverAcc)}
 
-		nticks := int(d.uint32())
+		nticks := d.count(80) // 2 uint32s + 9 float64s
 		for j := 0; j < nticks && d.err == nil; j++ {
 			tick := int(d.uint32())
 			t := &tickAcc{servers: int(d.uint32())}
@@ -108,18 +112,14 @@ func (a *Aggregator) UnmarshalBinary(data []byte) error {
 			p.ticks[tick] = t
 		}
 
-		nservers := int(d.uint32())
+		nservers := d.count(20) // ≥ 2 string lengths + 3 uint32s
 		for j := 0; j < nservers && d.err == nil; j++ {
 			name := d.string()
 			s := &serverAcc{generation: d.string()}
 			s.online = int(d.uint32())
 			s.windows = int(d.uint32())
-			ncpu := int(d.uint32())
+			ncpu := d.count(8)
 			if d.err == nil && ncpu > 0 {
-				if ncpu > d.remaining()/8 {
-					d.err = fmt.Errorf("metrics: truncated aggregator payload (cpu run of %d)", ncpu)
-					break
-				}
 				s.cpu = make([]float64, ncpu)
 				for k := range s.cpu {
 					s.cpu[k] = d.float()
@@ -185,12 +185,36 @@ func (d *wireDecoder) uint32() uint32 {
 	return binary.LittleEndian.Uint32(b)
 }
 
+// count reads an element-count prefix and validates it against the bytes
+// still in the buffer, where min is the smallest possible encoded size of
+// one element. Oversized or wrapped-negative counts latch an error instead
+// of sizing an allocation.
+func (d *wireDecoder) count(min int) int {
+	n := int(int32(d.uint32()))
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > d.remaining()/min {
+		d.err = fmt.Errorf("metrics: corrupt aggregator payload (count %d needs %d+ bytes, have %d)", n, n*min, d.remaining())
+		return 0
+	}
+	return n
+}
+
+// float rejects NaN and ±Inf: accumulated simulation state is always
+// finite, so a non-finite value marks a corrupt payload. Letting it through
+// would poison every aggregate it is merged into.
 func (d *wireDecoder) float() float64 {
 	b := d.bytes(8)
 	if b == nil {
 		return 0
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	v := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		d.err = fmt.Errorf("metrics: non-finite value in aggregator payload")
+		return 0
+	}
+	return v
 }
 
 func (d *wireDecoder) string() string {

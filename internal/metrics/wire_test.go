@@ -112,3 +112,97 @@ func TestWireEmptyAggregator(t *testing.T) {
 		t.Fatalf("decoded empty aggregator has pools %v", got)
 	}
 }
+
+// TestWireRejectsHostilePayloads pins the hardening against forged count
+// prefixes and non-finite floats: each must produce a decode error without
+// sizing an allocation from attacker-controlled counts.
+func TestWireRejectsHostilePayloads(t *testing.T) {
+	enc, err := wireFixture().MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	// Oversized pool count: a 9-byte payload claiming 2^32-1 pools must not
+	// reserve a ~4-billion-entry map before discovering the truncation.
+	hostile := append([]byte(nil), enc[:8]...) // magic + version
+	hostile = append(hostile, 0xFF, 0xFF, 0xFF, 0xFF)
+	hostile = append(hostile, 0x00)
+	var a Aggregator
+	if err := a.UnmarshalBinary(hostile); err == nil {
+		t.Error("oversized pool count: decode succeeded, want error")
+	}
+
+	// Oversized cpu-sample count inside an otherwise valid payload.
+	mutated := append([]byte(nil), enc...)
+	// The first pool's first server cpu run: find it by decoding offsets is
+	// brittle; instead flip every aligned uint32 to 0xFFFFFFFF one at a time
+	// and require that no mutation panics (most must error; a few may decode
+	// if the flipped word was a float fragment that stays finite).
+	for off := 8; off+4 <= len(mutated); off += 4 {
+		m := append([]byte(nil), mutated...)
+		m[off], m[off+1], m[off+2], m[off+3] = 0xFF, 0xFF, 0xFF, 0xFF
+		var b Aggregator
+		_ = b.UnmarshalBinary(m) // must not panic or hang
+	}
+
+	// NaN and Inf payload values are rejected.
+	for name, bits := range map[string]uint64{
+		"NaN":  math.Float64bits(math.NaN()),
+		"+Inf": math.Float64bits(math.Inf(1)),
+		"-Inf": math.Float64bits(math.Inf(-1)),
+	} {
+		agg := wireFixture()
+		good, err := agg.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		// Overwrite the last 8 bytes — the final cpu sample — with the
+		// non-finite pattern.
+		m := append([]byte(nil), good...)
+		for i := 0; i < 8; i++ {
+			m[len(m)-8+i] = byte(bits >> (8 * i))
+		}
+		var b Aggregator
+		if err := b.UnmarshalBinary(m); err == nil {
+			t.Errorf("%s payload: decode succeeded, want error", name)
+		}
+	}
+}
+
+// FuzzDecodeAggregator: arbitrary bytes must never panic the decoder, and
+// any payload that decodes successfully must re-encode deterministically to
+// a fixed point (decode → encode → decode → encode yields equal bytes).
+func FuzzDecodeAggregator(f *testing.F) {
+	good, err := wireFixture().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, _ := NewAggregator().MarshalBinary()
+	f.Add(good)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte("HAGG"))
+	// Oversized pool count straight after the header.
+	f.Add(append(append([]byte(nil), good[:8]...), 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a Aggregator
+		if err := a.UnmarshalBinary(data); err != nil {
+			return
+		}
+		enc, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded OK but re-encode failed: %v", err)
+		}
+		var b Aggregator
+		if err := b.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("re-encoded payload does not decode: %v", err)
+		}
+		enc2, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}

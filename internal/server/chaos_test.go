@@ -7,6 +7,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -447,6 +448,50 @@ func TestRetryAfterDerivedFromServiceRate(t *testing.T) {
 	s2.rate.observe(10 * time.Millisecond)
 	if got := s2.retryAfterSeconds(0); got != 1 {
 		t.Errorf("retryAfter fast = %d, want 1 floor", got)
+	}
+}
+
+// TestRetryAfterEdgeCases pins the boundary behavior of both Retry-After
+// helpers: every path must yield a value in [1, 120] — including a
+// pathological EWMA mean, where the old float→int conversion overflowed to
+// minInt and advertised 1 s instead of the 120 s cap.
+func TestRetryAfterEdgeCases(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8, CacheSize: 4})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+
+	// Zero depth with a cold EWMA: still the 1 s fallback.
+	if got := s.retryAfterSeconds(0); got != 1 {
+		t.Errorf("retryAfter cold+zero depth = %d, want 1", got)
+	}
+	// Pathological mean (simulating clock weirdness feeding the EWMA): the
+	// estimate overflows float→int range and must clamp to 120, not wrap.
+	s.rate.observe(time.Duration(math.MaxInt64)) // ~292 years
+	for i := 0; i < 8; i++ {
+		s.rate.observe(time.Duration(math.MaxInt64))
+	}
+	if got := s.retryAfterSeconds(1 << 30); got != 120 {
+		t.Errorf("retryAfter with huge mean and depth = %d, want 120 cap", got)
+	}
+	if got := s.retryAfterSeconds(0); got != 120 {
+		t.Errorf("retryAfter with huge mean, zero depth = %d, want 120 cap", got)
+	}
+
+	// retryAfterCeil: zero, negative and sub-second durations floor to 1;
+	// long ones round up exactly.
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-5 * time.Second, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{90 * time.Second, 90},
+	} {
+		if got := retryAfterCeil(tc.d); got != tc.want {
+			t.Errorf("retryAfterCeil(%v) = %d, want %d", tc.d, got, tc.want)
+		}
 	}
 }
 

@@ -217,11 +217,11 @@ func (s *Server) handleInternalShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	simReq := SimulateRequest{Days: sreq.Days, Seed: sreq.Seed, Pools: sreq.Pools}
-	if err := simReq.normalize(); err != nil {
+	if err := simReq.Normalize(); err != nil {
 		s.badRequest(w, r, err)
 		return
 	}
-	cfg, err := simReq.fleet()
+	cfg, err := simReq.Fleet()
 	if err != nil {
 		s.badRequest(w, r, err)
 		return
@@ -320,7 +320,7 @@ func poolNames(src headroom.Source) []string {
 // to the worker fleet, and merge the returned aggregates in shard order.
 // The merged aggregate is byte-identical to the single-node computation.
 func (s *Server) distSimulateAggregate(ctx context.Context, req SimulateRequest) (*headroom.Aggregator, *headroom.PartialError, error) {
-	cfg, err := req.fleet()
+	cfg, err := req.Fleet()
 	if err != nil {
 		return nil, nil, err
 	}

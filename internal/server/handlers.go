@@ -92,16 +92,16 @@ func decodeSimulate(body []byte) (SimulateRequest, error) {
 	if err := decode(body, &req); err != nil {
 		return req, err
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		return req, err
 	}
 	// Resolve the fleet now so unknown pool names fail the submission (400)
 	// instead of the job.
-	_, err := req.fleet()
+	_, err := req.Fleet()
 	return req, err
 }
 
-func (r *SimulateRequest) normalize() error {
+func (r *SimulateRequest) Normalize() error {
 	if r.Days == 0 {
 		r.Days = 1
 	}
@@ -132,7 +132,7 @@ func (r *SimulateRequest) normalize() error {
 
 // fleet resolves the request's fleet configuration, failing on unknown pool
 // names.
-func (r SimulateRequest) fleet() (headroom.FleetConfig, error) {
+func (r SimulateRequest) Fleet() (headroom.FleetConfig, error) {
 	cfg := headroom.DefaultFleet(r.Seed)
 	if len(r.Pools) == 0 {
 		return cfg, nil
@@ -220,7 +220,7 @@ func (s *Server) simulateAggregate(ctx context.Context, req SimulateRequest, pla
 		// identical to the local computation below.
 		return s.distSimulateAggregate(ctx, req)
 	}
-	cfg, err := req.fleet()
+	cfg, err := req.Fleet()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -259,16 +259,17 @@ func (s *Server) planSession(plan headroom.PlanConfig) (*headroom.Session, error
 	return headroom.New(context.Background(), headroom.WithPlanConfig(plan))
 }
 
-func (s *Server) computeSimulate(ctx context.Context, req SimulateRequest) (any, error) {
-	agg, pe, err := s.simulateAggregate(ctx, req, nil)
-	if err != nil {
-		return nil, err
-	}
+// BuildSimulateResult condenses an aggregate into the wire result for req.
+// It is the single summary builder for every execution path — sequential,
+// sharded, distributed and cache-served — so equal aggregates always render
+// to equal results (the differential harness in internal/diffcheck depends
+// on this being the only implementation).
+func BuildSimulateResult(req SimulateRequest, agg *headroom.Aggregator, pe *headroom.PartialError) (SimulateResult, error) {
 	res := SimulateResult{Days: req.Days, Seed: req.Seed}
 	for _, key := range agg.Pools() {
 		series, err := agg.PoolSeries(key.DC, key.Pool)
 		if err != nil {
-			return nil, err
+			return res, err
 		}
 		sum := PoolSummary{Pool: key.Pool, DC: key.DC, Windows: len(series)}
 		for _, ts := range series {
@@ -295,6 +296,18 @@ func (s *Server) computeSimulate(ctx context.Context, req SimulateRequest) (any,
 		res.Degraded = true
 		res.FailedPools = pe.FailedPools()
 		res.Failures = shardFailures(pe)
+	}
+	return res, nil
+}
+
+func (s *Server) computeSimulate(ctx context.Context, req SimulateRequest) (any, error) {
+	agg, pe, err := s.simulateAggregate(ctx, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := BuildSimulateResult(req, agg, pe)
+	if err != nil {
+		return nil, err
 	}
 	return s.finishResult(ctx, "simulate", res, pe)
 }
@@ -338,10 +351,10 @@ func decodePlan(body []byte) (PlanRequest, error) {
 	if err := decode(body, &req); err != nil {
 		return req, err
 	}
-	if err := req.SimulateRequest.normalize(); err != nil {
+	if err := req.SimulateRequest.Normalize(); err != nil {
 		return req, err
 	}
-	if _, err := req.fleet(); err != nil {
+	if _, err := req.Fleet(); err != nil {
 		return req, err
 	}
 	if req.LatencyBudgetMs < 0 {
@@ -380,25 +393,21 @@ type PlanResult struct {
 	Failures []ShardFailure `json:"failures,omitempty"`
 }
 
-func (s *Server) computePlan(ctx context.Context, req PlanRequest) (any, error) {
-	planCfg := headroom.PlanConfig{
-		LatencyBudgetMs:  req.LatencyBudgetMs,
-		Seed:             req.PlanSeed,
-		MaxGroups:        req.MaxGroups,
-		MaxReductionFrac: req.MaxReductionFrac,
+// PlanConfig resolves the request's planner configuration; the one mapping
+// every execution path shares.
+func (r PlanRequest) PlanConfig() headroom.PlanConfig {
+	return headroom.PlanConfig{
+		LatencyBudgetMs:  r.LatencyBudgetMs,
+		Seed:             r.PlanSeed,
+		MaxGroups:        r.MaxGroups,
+		MaxReductionFrac: r.MaxReductionFrac,
 	}
-	agg, pe, err := s.simulateAggregate(ctx, req.SimulateRequest, &planCfg)
-	if err != nil {
-		return nil, err
-	}
-	sess, err := s.planSession(planCfg)
-	if err != nil {
-		return nil, err
-	}
-	plans, err := sess.Plan(ctx, agg)
-	if err != nil {
-		return nil, err
-	}
+}
+
+// BuildPlanResult assembles the wire result for a plan request from the
+// planner's output. Like BuildSimulateResult, it is shared by every
+// execution path so equal plans render to equal results.
+func BuildPlanResult(req PlanRequest, plans []headroom.PoolPlan, pe *headroom.PartialError) PlanResult {
 	res := PlanResult{
 		Days:            req.Days,
 		Seed:            req.Seed,
@@ -420,6 +429,24 @@ func (s *Server) computePlan(ctx context.Context, req PlanRequest) (any, error) 
 		res.FailedPools = pe.FailedPools()
 		res.Failures = shardFailures(pe)
 	}
+	return res
+}
+
+func (s *Server) computePlan(ctx context.Context, req PlanRequest) (any, error) {
+	planCfg := req.PlanConfig()
+	agg, pe, err := s.simulateAggregate(ctx, req.SimulateRequest, &planCfg)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.planSession(planCfg)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := sess.Plan(ctx, agg)
+	if err != nil {
+		return nil, err
+	}
+	res := BuildPlanResult(req, plans, pe)
 	return s.finishResult(ctx, "plan", res, pe)
 }
 

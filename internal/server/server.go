@@ -477,14 +477,17 @@ func (s *Server) retryAfterSeconds(depth int) int {
 	if workers < 1 {
 		workers = 1
 	}
-	secs := int(math.Ceil(float64(depth+1) * mean / float64(workers)))
-	if secs < 1 {
-		secs = 1
+	// Clamp in the float domain: converting an out-of-range float64 to int is
+	// implementation-defined (minInt on amd64), so a pathological EWMA mean
+	// would otherwise wrap the estimate to the minimum instead of the cap.
+	est := float64(depth+1) * mean / float64(workers)
+	if !(est > 1) { // catches NaN as well as sub-second estimates
+		return 1
 	}
-	if secs > 120 {
-		secs = 120
+	if est >= 120 {
+		return 120
 	}
-	return secs
+	return int(math.Ceil(est))
 }
 
 func (s *Server) routes() {

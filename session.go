@@ -321,7 +321,18 @@ func (s *Session) aggregate(ctx context.Context, src Source, subs []Source) (*Ag
 	if len(subs) <= 1 {
 		agg := metrics.NewAggregator()
 		var n int64
-		if err := src.Stream(ctx, func(r Record) error { agg.Add(r); n++; return nil }); err != nil {
+		// Recover panics like the sharded fan-out below does for its
+		// goroutines, so panic semantics do not depend on the shard count:
+		// every execution path reports a panicking source as an error.
+		err := func() (err error) {
+			defer func() {
+				if v := recover(); v != nil {
+					err = fmt.Errorf("headroom: source panicked: %v", v)
+				}
+			}()
+			return src.Stream(ctx, func(r Record) error { agg.Add(r); n++; return nil })
+		}()
+		if err != nil {
 			return nil, n, err
 		}
 		return agg, n, nil
@@ -506,7 +517,18 @@ func (s *Session) AggregateShard(ctx context.Context, index, of int) (*Aggregato
 	start := time.Now()
 	agg := metrics.NewAggregator()
 	var records int64
-	err := sub.Stream(sctx, func(r Record) error { agg.Add(r); records++; return nil })
+	// Recover panics exactly like the in-process sharded fan-out does for its
+	// workers: a worker process serving shards over HTTP must degrade the one
+	// shard, not die — the sequential path has no equivalent isolation, so
+	// without this the four execution paths diverge on panic faults.
+	err := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("headroom: shard %d panicked: %v", index, v)
+			}
+		}()
+		return sub.Stream(sctx, func(r Record) error { agg.Add(r); records++; return nil })
+	}()
 	d := time.Since(start)
 	sp.SetAttr(obs.Int64("records", records))
 	sp.RecordError(err)
